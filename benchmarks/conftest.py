@@ -1,0 +1,52 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one figure or table of the paper through the
+corresponding harness in :mod:`repro.experiments` and prints the resulting
+rows, so running ``pytest benchmarks/ --benchmark-only`` produces both the
+timing numbers and the accuracy tables.
+
+The workload sizes are scaled down (hundreds of tuples instead of the paper's
+30 k-6 M) so the full suite finishes in minutes; pass ``--repro-tuples`` to
+scale them up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: rendered experiment tables are also written here so the figures/tables can
+#: be inspected after a quiet benchmark run
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-tuples",
+        action="store",
+        type=int,
+        default=700,
+        help="workload size (tuples) used by the figure/table benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_tuples(request) -> int:
+    return request.config.getoption("--repro-tuples")
+
+
+def run_and_report(benchmark, harness, **kwargs):
+    """Run one experiment harness under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(lambda: harness(**kwargs), rounds=1, iterations=1)
+    rendered = result.render()
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(rendered + "\n")
+    return result
+
+
+@pytest.fixture
+def report_experiment():
+    return run_and_report

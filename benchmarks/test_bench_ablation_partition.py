@@ -1,0 +1,15 @@
+"""Ablation: Algorithm-3 partitioning vs round-robin partitioning."""
+
+from repro.experiments import ablation_partitioner
+
+
+def test_ablation_partitioner(benchmark, bench_tuples, report_experiment):
+    result = report_experiment(
+        benchmark,
+        ablation_partitioner,
+        dataset="tpch",
+        workers=4,
+        tuples=bench_tuples,
+    )
+    assert {row["partitioner"] for row in result.rows} == {"algorithm3", "round_robin"}
+    assert all(row["runtime_s"] > 0 for row in result.rows)

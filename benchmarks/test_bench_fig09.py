@@ -1,0 +1,17 @@
+"""Figure 9: RSC precision/recall vs the threshold tau."""
+
+from repro.experiments import fig09_rsc_threshold
+
+
+def test_fig09_rsc_threshold(benchmark, bench_tuples, report_experiment):
+    result = report_experiment(
+        benchmark,
+        fig09_rsc_threshold,
+        datasets=("car", "hai"),
+        thresholds={"car": (0, 1, 5), "hai": (0, 10, 50)},
+        tuples=bench_tuples,
+    )
+    for dataset, optimal, extreme in (("car", 1, 5), ("hai", 10, 50)):
+        rows = {row["threshold"]: row for row in result.rows if row["dataset"] == dataset}
+        # a far-too-large threshold is not better than the tuned one
+        assert rows[optimal]["recall_r"] >= rows[extreme]["recall_r"] - 0.05

@@ -1,0 +1,15 @@
+"""Figure 10: FSCR precision/recall vs the threshold tau."""
+
+from repro.experiments import fig10_fscr_threshold
+
+
+def test_fig10_fscr_threshold(benchmark, bench_tuples, report_experiment):
+    result = report_experiment(
+        benchmark,
+        fig10_fscr_threshold,
+        datasets=("car", "hai"),
+        thresholds={"car": (0, 1, 5), "hai": (0, 10, 50)},
+        tuples=bench_tuples,
+    )
+    assert all(0.0 <= row["precision_f"] <= 1.0 for row in result.rows)
+    assert all(0.0 <= row["recall_f"] <= 1.0 for row in result.rows)

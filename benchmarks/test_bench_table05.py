@@ -1,0 +1,15 @@
+"""Table 5: MLNClean F1 under the Levenshtein vs cosine distance."""
+
+from repro.experiments import table05_distance_metrics
+
+
+def test_table05_distance_metrics(benchmark, bench_tuples, report_experiment):
+    result = report_experiment(
+        benchmark,
+        table05_distance_metrics,
+        datasets=("car", "hai"),
+        tuples=bench_tuples,
+    )
+    by_key = {(row["dataset"], row["metric"]): row["f1"] for row in result.rows}
+    # the paper finds the Levenshtein distance at least as good as cosine
+    assert by_key[("hai", "levenshtein")] >= by_key[("hai", "cosine")] - 0.05

@@ -1,0 +1,16 @@
+"""Table 6: distributed MLNClean runtime vs the number of workers."""
+
+from repro.experiments import table06_worker_scaling
+
+
+def test_table06_worker_scaling(benchmark, bench_tuples, report_experiment):
+    result = report_experiment(
+        benchmark,
+        table06_worker_scaling,
+        dataset="tpch",
+        worker_counts=(2, 4, 8),
+        tuples=bench_tuples,
+    )
+    assert [row["workers"] for row in result.rows] == [2, 4, 8]
+    assert all(row["runtime_s"] > 0 for row in result.rows)
+    assert all(row["sequential_s"] >= row["runtime_s"] for row in result.rows)

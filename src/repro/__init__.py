@@ -1,0 +1,49 @@
+"""MLNClean reproduction: a hybrid data cleaning framework on Markov logic networks.
+
+The package reproduces "A Hybrid Data Cleaning Framework Using Markov Logic
+Networks" (Gao et al., ICDE 2021 / arXiv:1903.05826).  The public API most
+users need is re-exported here::
+
+    from repro import MLNClean, MLNCleanConfig, Table, parse_rules
+
+    cleaner = MLNClean(MLNCleanConfig(abnormal_threshold=1))
+    report = cleaner.clean(dirty_table, rules)
+    print(report.describe())
+
+Sub-packages:
+
+* :mod:`repro.core` — the MLNClean pipeline (MLN index, AGP, RSC, FSCR),
+* :mod:`repro.constraints` — FD / CFD / DC rules and the rule parser,
+* :mod:`repro.mln` — the Markov-logic substrate (grounding, weights, inference),
+* :mod:`repro.dataset`, :mod:`repro.distance`, :mod:`repro.errors`,
+  :mod:`repro.metrics` — supporting substrates,
+* :mod:`repro.baselines` — the HoloClean-style comparison baseline,
+* :mod:`repro.distributed` — the partitioned (Spark-style) MLNClean,
+* :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators,
+* :mod:`repro.experiments` — one harness per figure/table of the paper.
+"""
+
+from repro.core.config import MLNCleanConfig
+from repro.core.pipeline import MLNClean
+from repro.core.report import CleaningReport
+from repro.constraints.parser import parse_rule, parse_rules
+from repro.dataset.table import Cell, Row, Table
+from repro.errors.injector import ErrorInjector, ErrorSpec
+from repro.metrics.accuracy import evaluate_repair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MLNClean",
+    "MLNCleanConfig",
+    "CleaningReport",
+    "parse_rule",
+    "parse_rules",
+    "Table",
+    "Row",
+    "Cell",
+    "ErrorInjector",
+    "ErrorSpec",
+    "evaluate_repair",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Integrity constraints (data quality rules).
+
+MLNClean consumes three classes of constraints (Section 3 of the paper):
+functional dependencies (FDs), conditional functional dependencies (CFDs),
+and denial constraints (DCs).  Each rule decomposes into a *reason part* and
+a *result part* — "the reason part determines the result part" — and that
+decomposition drives the MLN-index construction of the core pipeline.
+
+This package provides:
+
+* :mod:`repro.constraints.predicates` — attribute comparison predicates used
+  by general denial constraints,
+* :mod:`repro.constraints.rules` — the FD / CFD / DC rule classes,
+* :mod:`repro.constraints.parser` — a small textual rule language,
+* :mod:`repro.constraints.violations` — violation detection over a table.
+"""
+
+from repro.constraints.predicates import Comparison, Predicate
+from repro.constraints.rules import (
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    Rule,
+)
+from repro.constraints.parser import parse_rule, parse_rules
+from repro.constraints.violations import Violation, detect_violations, violating_cells
+
+__all__ = [
+    "Comparison",
+    "Predicate",
+    "Rule",
+    "FunctionalDependency",
+    "ConditionalFunctionalDependency",
+    "DenialConstraint",
+    "parse_rule",
+    "parse_rules",
+    "Violation",
+    "detect_violations",
+    "violating_cells",
+]

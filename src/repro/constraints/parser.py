@@ -1,0 +1,139 @@
+"""A small textual language for integrity constraints.
+
+The experiment definitions (Table 4 of the paper) are much easier to read and
+to maintain as text than as constructor calls, so this module parses:
+
+* FDs:   ``"PhoneNumber -> ZIPCode"`` or ``"ProviderID -> City, PhoneNumber"``
+* CFDs:  ``"Make=acura, Type -> Doors"`` or
+         ``"HN=ELIZA, CT=BOAZ -> PN=2567688400"``
+  (an attribute with ``=value`` is a constant pattern, without is a wildcard;
+  the rule is a CFD as soon as any constant appears, otherwise an FD)
+* DCs:   ``"DC: PN(t1)=PN(t2) & ST(t1)!=ST(t2)"``
+  (a conjunction of comparison predicates that must never hold together;
+  ``t1``/``t2`` mark which tuple variable each side refers to)
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.constraints.predicates import Comparison, Predicate
+from repro.constraints.rules import (
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    Rule,
+)
+
+_DC_PREFIX = re.compile(r"^\s*DC\s*:\s*", re.IGNORECASE)
+_DC_TERM = re.compile(
+    r"^\s*(?P<left_attr>\w+)\s*\(\s*(?P<left_var>t1|t2|t)\s*\)\s*"
+    r"(?P<op>!=|>=|<=|=|<|>)\s*"
+    r"(?:(?P<right_attr>\w+)\s*\(\s*(?P<right_var>t1|t2|t)\s*\)|(?P<const>[^&]+?))\s*$"
+)
+_OPERATORS = {
+    "=": Comparison.EQ,
+    "!=": Comparison.NEQ,
+    "<": Comparison.LT,
+    "<=": Comparison.LTE,
+    ">": Comparison.GT,
+    ">=": Comparison.GTE,
+}
+
+
+class RuleParseError(ValueError):
+    """Raised when a rule string cannot be parsed."""
+
+
+def parse_rule(text: str, name: Optional[str] = None) -> Rule:
+    """Parse one rule string into a :class:`~repro.constraints.rules.Rule`."""
+    if not text or not text.strip():
+        raise RuleParseError("empty rule string")
+    stripped = text.strip()
+    rule_name = name if name is not None else _default_name(stripped)
+    if _DC_PREFIX.match(stripped):
+        return _parse_denial_constraint(_DC_PREFIX.sub("", stripped), rule_name)
+    if "->" not in stripped:
+        raise RuleParseError(
+            f"cannot parse rule {text!r}: expected '->' or a 'DC:' prefix"
+        )
+    return _parse_dependency(stripped, rule_name)
+
+
+def parse_rules(texts: Iterable[str], prefix: str = "r") -> list[Rule]:
+    """Parse many rule strings, naming them ``<prefix>1``, ``<prefix>2``, ..."""
+    return [
+        parse_rule(text, name=f"{prefix}{index}")
+        for index, text in enumerate(texts, start=1)
+    ]
+
+
+def _default_name(text: str) -> str:
+    compact = re.sub(r"\s+", "", text)
+    return compact[:40]
+
+
+def _split_terms(side: str) -> list[tuple[str, Optional[str]]]:
+    """Split ``"A=x, B"`` into ``[("A", "x"), ("B", None)]``."""
+    terms: list[tuple[str, Optional[str]]] = []
+    for raw in side.split(","):
+        part = raw.strip()
+        if not part:
+            raise RuleParseError(f"empty attribute term in {side!r}")
+        if "=" in part:
+            attribute, _, value = part.partition("=")
+            attribute = attribute.strip()
+            value = value.strip().strip("'\"")
+            if not attribute or not value:
+                raise RuleParseError(f"malformed constant pattern {part!r}")
+            terms.append((attribute, value))
+        else:
+            terms.append((part, None))
+    return terms
+
+
+def _parse_dependency(text: str, name: str) -> Rule:
+    left_text, _, right_text = text.partition("->")
+    left_terms = _split_terms(left_text)
+    right_terms = _split_terms(right_text)
+    has_constant = any(v is not None for _, v in left_terms + right_terms)
+    if not has_constant:
+        return FunctionalDependency(
+            [a for a, _ in left_terms], [a for a, _ in right_terms], name=name
+        )
+    conditions = {a: v for a, v in left_terms}
+    consequents = {a: v for a, v in right_terms}
+    return ConditionalFunctionalDependency(conditions, consequents, name=name)
+
+
+def _parse_denial_constraint(body: str, name: str) -> DenialConstraint:
+    terms = [t for t in re.split(r"&|∧", body) if t.strip()]
+    if len(terms) < 2:
+        raise RuleParseError(
+            f"a denial constraint needs at least two predicates: {body!r}"
+        )
+    predicates = [_parse_dc_predicate(term) for term in terms]
+    return DenialConstraint(predicates, name=name)
+
+
+def _parse_dc_predicate(term: str) -> Predicate:
+    match = _DC_TERM.match(term)
+    if match is None:
+        raise RuleParseError(f"cannot parse DC predicate {term!r}")
+    operator = _OPERATORS[match.group("op")]
+    left_attr = match.group("left_attr")
+    right_attr = match.group("right_attr")
+    if right_attr is not None:
+        pairwise = match.group("left_var") != match.group("right_var")
+        return Predicate(
+            left_attr, operator, right_attribute=right_attr, pairwise=pairwise
+        )
+    constant = match.group("const").strip().strip("'\"")
+    return Predicate(left_attr, operator, constant=constant)
+
+
+def rules_to_strings(rules: Sequence[Rule]) -> list[str]:
+    """Render rules back to a readable textual form (for reports/examples)."""
+    return [f"{rule.name}: {rule}" for rule in rules]

@@ -1,0 +1,130 @@
+"""Comparison predicates for denial constraints.
+
+A denial constraint is a universally quantified conjunction of predicates
+that must never all be true at once: ``∀t, t' ¬(p1 ∧ p2 ∧ ... ∧ pn)``.
+Each predicate compares an attribute of one tuple either with the same (or
+another) attribute of a second tuple, or with a constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Comparison(enum.Enum):
+    """Comparison operators supported inside denial-constraint predicates."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+
+    def evaluate(self, left: str, right: str) -> bool:
+        """Apply the operator to two string values.
+
+        Values that both parse as numbers are compared numerically for the
+        ordering operators; equality always uses exact string comparison,
+        matching how the paper treats attribute values.
+        """
+        if self is Comparison.EQ:
+            return left == right
+        if self is Comparison.NEQ:
+            return left != right
+        left_key = _ordering_key(left)
+        right_key = _ordering_key(right)
+        if self is Comparison.LT:
+            return left_key < right_key
+        if self is Comparison.LTE:
+            return left_key <= right_key
+        if self is Comparison.GT:
+            return left_key > right_key
+        return left_key >= right_key
+
+    def negated(self) -> "Comparison":
+        """The logical negation of the operator."""
+        return _NEGATIONS[self]
+
+
+_NEGATIONS = {
+    Comparison.EQ: Comparison.NEQ,
+    Comparison.NEQ: Comparison.EQ,
+    Comparison.LT: Comparison.GTE,
+    Comparison.LTE: Comparison.GT,
+    Comparison.GT: Comparison.LTE,
+    Comparison.GTE: Comparison.LT,
+}
+
+
+def _ordering_key(value: str) -> tuple[int, float, str]:
+    """Order numbers numerically and everything else lexicographically."""
+    try:
+        return (0, float(value), "")
+    except ValueError:
+        return (1, 0.0, value)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One comparison inside a denial constraint.
+
+    ``left_attribute`` always refers to the first tuple variable.  The right
+    hand side is either another attribute (``right_attribute``, referring to
+    the second tuple variable when ``pairwise`` is True, otherwise to the same
+    tuple) or a constant (``constant``).
+    """
+
+    left_attribute: str
+    operator: Comparison
+    right_attribute: Optional[str] = None
+    constant: Optional[str] = None
+    pairwise: bool = True
+
+    def __post_init__(self) -> None:
+        has_attr = self.right_attribute is not None
+        has_const = self.constant is not None
+        if has_attr == has_const:
+            raise ValueError(
+                "exactly one of right_attribute and constant must be given"
+            )
+
+    @property
+    def attributes(self) -> list[str]:
+        """All attributes the predicate reads."""
+        attrs = [self.left_attribute]
+        if self.right_attribute is not None and self.right_attribute not in attrs:
+            attrs.append(self.right_attribute)
+        return attrs
+
+    def holds(self, first: dict[str, str], second: Optional[dict[str, str]] = None) -> bool:
+        """Evaluate the predicate on one tuple (or a pair of tuples).
+
+        ``first`` and ``second`` are attribute→value mappings.  A pairwise
+        predicate requires ``second``; single-tuple predicates ignore it.
+        """
+        left_value = first[self.left_attribute]
+        if self.constant is not None:
+            return self.operator.evaluate(left_value, self.constant)
+        if self.pairwise:
+            if second is None:
+                raise ValueError("pairwise predicate needs a second tuple")
+            right_value = second[self.right_attribute]  # type: ignore[index]
+        else:
+            right_value = first[self.right_attribute]  # type: ignore[index]
+        return self.operator.evaluate(left_value, right_value)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering, e.g. ``PN(t)=PN(t')``."""
+        if self.constant is not None:
+            return f"{self.left_attribute}(t){self.operator.value}{self.constant!r}"
+        other = "t'" if self.pairwise else "t"
+        return (
+            f"{self.left_attribute}(t){self.operator.value}"
+            f"{self.right_attribute}({other})"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

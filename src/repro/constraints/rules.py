@@ -1,0 +1,403 @@
+"""Integrity-constraint rule classes: FD, CFD and DC.
+
+Every rule exposes the decomposition the MLN index is built on
+(Section 4 of the paper):
+
+* ``reason_attributes`` — the attributes of the reason part (the antecedent
+  of an FD/CFD; all but the last predicate of a DC),
+* ``result_attributes`` — the attributes of the result part (the consequent
+  of an FD/CFD; the last predicate of a DC),
+* ``covers(row)`` — whether a tuple contributes a piece of data (γ) to the
+  rule's block,
+* ``violations(table)`` — schema-level violations for detection and for the
+  baseline's constraint features,
+* ``to_mln_string()`` — the clausal MLN form of the rule
+  (e.g. ``¬CT ∨ ST`` for the FD ``CT ⇒ ST``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.predicates import Comparison, Predicate
+from repro.dataset.table import Cell, Table
+
+
+@dataclass
+class Violation:
+    """A schema-level violation of one rule.
+
+    ``tids`` are the tuples involved; ``suspect_cells`` are the result-part
+    cells that the violation casts doubt on (the cells a repair would touch).
+    """
+
+    rule: "Rule"
+    tids: tuple[int, ...]
+    suspect_cells: tuple[Cell, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Violation({self.rule.name}, tids={self.tids})"
+
+
+class Rule(ABC):
+    """Base class of all integrity constraints."""
+
+    #: rule class identifier, one of ``"FD"``, ``"CFD"``, ``"DC"``
+    kind: str = "RULE"
+
+    def __init__(self, name: str, weight: Optional[float] = None):
+        self.name = name
+        #: MLN weight of the rule (``wi`` in Definition 1); ``None`` until the
+        #: weight learner assigns one.
+        self.weight = weight
+
+    # ------------------------------------------------------------------
+    # reason / result decomposition
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def reason_attributes(self) -> list[str]:
+        """Attributes of the reason part."""
+
+    @property
+    @abstractmethod
+    def result_attributes(self) -> list[str]:
+        """Attributes of the result part."""
+
+    @property
+    def attributes(self) -> list[str]:
+        """All attributes the rule involves (reason first, then result)."""
+        attrs = list(self.reason_attributes)
+        for attribute in self.result_attributes:
+            if attribute not in attrs:
+                attrs.append(attribute)
+        return attrs
+
+    # ------------------------------------------------------------------
+    # coverage and violations
+    # ------------------------------------------------------------------
+    def covers(self, row: Mapping[str, str]) -> bool:
+        """Whether a tuple contributes a piece of data to this rule's block.
+
+        FDs and DCs cover every tuple; CFDs override this with pattern
+        matching.
+        """
+        del row
+        return True
+
+    @abstractmethod
+    def violations(self, table: Table) -> list[Violation]:
+        """All schema-level violations of the rule in ``table``."""
+
+    def is_satisfied(self, table: Table) -> bool:
+        """True when the table contains no violation of the rule."""
+        return not self.violations(table)
+
+    # ------------------------------------------------------------------
+    # MLN form
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def to_mln_string(self) -> str:
+        """The rule as a clause of literals, e.g. ``¬CT ∨ ST``."""
+
+    def describe(self) -> str:
+        """Human readable one-liner."""
+        return f"{self.name} ({self.kind}): {self.to_mln_string()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class FunctionalDependency(Rule):
+    """A functional dependency ``X ⇒ Y`` (rule r1 of the paper: ``CT ⇒ ST``)."""
+
+    kind = "FD"
+
+    def __init__(
+        self,
+        determinant: Sequence[str],
+        dependent: Sequence[str],
+        name: str = "fd",
+        weight: Optional[float] = None,
+    ):
+        super().__init__(name, weight)
+        if not determinant or not dependent:
+            raise ValueError("an FD needs non-empty determinant and dependent sets")
+        overlap = set(determinant) & set(dependent)
+        if overlap:
+            raise ValueError(f"attributes {sorted(overlap)} on both sides of the FD")
+        self.determinant = list(determinant)
+        self.dependent = list(dependent)
+
+    @property
+    def reason_attributes(self) -> list[str]:
+        return list(self.determinant)
+
+    @property
+    def result_attributes(self) -> list[str]:
+        return list(self.dependent)
+
+    def violations(self, table: Table) -> list[Violation]:
+        """Groups of tuples agreeing on the determinant but not the dependent."""
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for row in table:
+            key = row.values_for(self.determinant)
+            groups.setdefault(key, []).append(row.tid)
+        found: list[Violation] = []
+        for tids in groups.values():
+            if len(tids) < 2:
+                continue
+            dependents = {
+                table.row(tid).values_for(self.dependent) for tid in tids
+            }
+            if len(dependents) <= 1:
+                continue
+            cells = tuple(
+                Cell(tid, attribute)
+                for tid in tids
+                for attribute in self.dependent
+            )
+            found.append(Violation(self, tuple(tids), cells))
+        return found
+
+    def to_mln_string(self) -> str:
+        lhs = " ∨ ".join(f"¬{a}" for a in self.determinant)
+        rhs = " ∨ ".join(self.dependent)
+        return f"{lhs} ∨ {rhs}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{', '.join(self.determinant)} -> {', '.join(self.dependent)}"
+
+
+class ConditionalFunctionalDependency(Rule):
+    """A CFD: an FD that only applies to tuples matching a constant pattern.
+
+    ``conditions`` maps reason attributes to a constant pattern or ``None``
+    (a wildcard, i.e. the attribute participates but any value matches).
+    ``consequents`` maps result attributes to a constant pattern or ``None``.
+    The paper's rule r3 is
+    ``HN("ELIZA"), CT("BOAZ") ⇒ PN("2567688400")``.
+
+    Coverage follows the MLN-index construction of the paper: a tuple joins
+    the rule's block as soon as it matches at least one constant of the reason
+    pattern (so that, e.g., tuple t3 with HN = ELIZA but a wrong CT still lands
+    in block B3 and can be repaired there); a tuple that matches *all* reason
+    constants but contradicts a constant consequent is a violation.
+    """
+
+    kind = "CFD"
+
+    def __init__(
+        self,
+        conditions: Mapping[str, Optional[str]],
+        consequents: Mapping[str, Optional[str]],
+        name: str = "cfd",
+        weight: Optional[float] = None,
+    ):
+        super().__init__(name, weight)
+        if not conditions or not consequents:
+            raise ValueError("a CFD needs non-empty condition and consequent patterns")
+        overlap = set(conditions) & set(consequents)
+        if overlap:
+            raise ValueError(f"attributes {sorted(overlap)} on both sides of the CFD")
+        self.conditions = dict(conditions)
+        self.consequents = dict(consequents)
+
+    @property
+    def reason_attributes(self) -> list[str]:
+        return list(self.conditions.keys())
+
+    @property
+    def result_attributes(self) -> list[str]:
+        return list(self.consequents.keys())
+
+    @property
+    def constant_conditions(self) -> dict[str, str]:
+        """The reason-part patterns bound to constants."""
+        return {a: v for a, v in self.conditions.items() if v is not None}
+
+    @property
+    def constant_consequents(self) -> dict[str, str]:
+        """The result-part patterns bound to constants."""
+        return {a: v for a, v in self.consequents.items() if v is not None}
+
+    def covers(self, row: Mapping[str, str]) -> bool:
+        constants = self.constant_conditions
+        if not constants:
+            return True
+        return any(row[a] == v for a, v in constants.items())
+
+    def matches_pattern(self, row: Mapping[str, str]) -> bool:
+        """Whether a tuple matches every constant of the reason pattern."""
+        return all(row[a] == v for a, v in self.constant_conditions.items())
+
+    def violations(self, table: Table) -> list[Violation]:
+        """Pattern-matching tuples whose consequent contradicts the rule."""
+        found: list[Violation] = []
+        constant_consequents = self.constant_consequents
+        # Constant consequents: per-tuple check.
+        if constant_consequents:
+            for row in table:
+                if not self.matches_pattern(row.as_dict()):
+                    continue
+                wrong = [
+                    Cell(row.tid, attribute)
+                    for attribute, value in constant_consequents.items()
+                    if row[attribute] != value
+                ]
+                if wrong:
+                    found.append(Violation(self, (row.tid,), tuple(wrong)))
+        # Variable consequents behave like an FD restricted to the pattern.
+        variable_consequents = [
+            a for a, v in self.consequents.items() if v is None
+        ]
+        if variable_consequents:
+            groups: dict[tuple[str, ...], list[int]] = {}
+            for row in table:
+                if not self.matches_pattern(row.as_dict()):
+                    continue
+                key = row.values_for(self.reason_attributes)
+                groups.setdefault(key, []).append(row.tid)
+            for tids in groups.values():
+                if len(tids) < 2:
+                    continue
+                dependents = {
+                    table.row(tid).values_for(variable_consequents) for tid in tids
+                }
+                if len(dependents) <= 1:
+                    continue
+                cells = tuple(
+                    Cell(tid, attribute)
+                    for tid in tids
+                    for attribute in variable_consequents
+                )
+                found.append(Violation(self, tuple(tids), cells))
+        return found
+
+    def to_mln_string(self) -> str:
+        def literal(attribute: str, value: Optional[str]) -> str:
+            return f"{attribute}({value!r})" if value is not None else attribute
+
+        lhs = " ∨ ".join(
+            f"¬{literal(a, v)}" for a, v in self.conditions.items()
+        )
+        rhs = " ∨ ".join(literal(a, v) for a, v in self.consequents.items())
+        return f"{lhs} ∨ {rhs}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        conditions = ", ".join(
+            f"{a}={v!r}" if v is not None else a for a, v in self.conditions.items()
+        )
+        consequents = ", ".join(
+            f"{a}={v!r}" if v is not None else a for a, v in self.consequents.items()
+        )
+        return f"[{conditions}] -> [{consequents}]"
+
+
+class DenialConstraint(Rule):
+    """A denial constraint ``∀t, t' ¬(p1 ∧ ... ∧ pn)``.
+
+    Following the paper, the last predicate forms the result part and the
+    remaining predicates form the reason part.  The constructor accepts any
+    predicate list; the common "same value on A implies same value on B"
+    shape used by the paper (rule r2) and the HAI rule set has a dedicated
+    factory, :meth:`pairwise_equality_implies_equality`.
+    """
+
+    kind = "DC"
+
+    def __init__(
+        self,
+        predicates: Sequence[Predicate],
+        name: str = "dc",
+        weight: Optional[float] = None,
+    ):
+        super().__init__(name, weight)
+        if len(predicates) < 2:
+            raise ValueError("a denial constraint needs at least two predicates")
+        self.predicates = list(predicates)
+
+    @classmethod
+    def pairwise_equality_implies_equality(
+        cls,
+        equal_attribute: str,
+        implied_attribute: str,
+        name: str = "dc",
+        weight: Optional[float] = None,
+    ) -> "DenialConstraint":
+        """``¬(A(t)=A(t') ∧ B(t)≠B(t'))`` — equal A forces equal B.
+
+        This is rule r2 of the paper with ``A = PN`` and ``B = ST``.
+        """
+        predicates = [
+            Predicate(equal_attribute, Comparison.EQ, right_attribute=equal_attribute),
+            Predicate(implied_attribute, Comparison.NEQ, right_attribute=implied_attribute),
+        ]
+        return cls(predicates, name=name, weight=weight)
+
+    @property
+    def reason_predicates(self) -> list[Predicate]:
+        return self.predicates[:-1]
+
+    @property
+    def result_predicate(self) -> Predicate:
+        return self.predicates[-1]
+
+    @property
+    def reason_attributes(self) -> list[str]:
+        attrs: list[str] = []
+        for predicate in self.reason_predicates:
+            if predicate.left_attribute not in attrs:
+                attrs.append(predicate.left_attribute)
+        return attrs
+
+    @property
+    def result_attributes(self) -> list[str]:
+        return [self.result_predicate.left_attribute]
+
+    def violations(self, table: Table) -> list[Violation]:
+        """Tuple pairs on which all predicates hold simultaneously.
+
+        Pairs are enumerated inside buckets keyed by the attributes of the
+        pairwise-equality reason predicates (when any exist), which keeps the
+        common "equality implies equality" constraints close to linear time.
+        """
+        equality_attrs = [
+            p.left_attribute
+            for p in self.reason_predicates
+            if p.operator is Comparison.EQ
+            and p.right_attribute == p.left_attribute
+            and p.constant is None
+        ]
+        buckets: dict[tuple[str, ...], list[int]] = {}
+        if equality_attrs:
+            for row in table:
+                key = row.values_for(equality_attrs)
+                buckets.setdefault(key, []).append(row.tid)
+        else:
+            buckets[()] = list(table.tids)
+
+        found: list[Violation] = []
+        result_attr = self.result_predicate.left_attribute
+        for tids in buckets.values():
+            if len(tids) < 2:
+                continue
+            rows = {tid: table.row(tid).as_dict() for tid in tids}
+            for i, tid_a in enumerate(tids):
+                for tid_b in tids[i + 1 :]:
+                    first, second = rows[tid_a], rows[tid_b]
+                    if all(p.holds(first, second) for p in self.predicates):
+                        cells = (Cell(tid_a, result_attr), Cell(tid_b, result_attr))
+                        found.append(Violation(self, (tid_a, tid_b), cells))
+        return found
+
+    def to_mln_string(self) -> str:
+        literals = " ∨ ".join(f"¬({p.describe()})" for p in self.predicates)
+        return literals
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        body = " ∧ ".join(p.describe() for p in self.predicates)
+        return f"∀t,t' ¬({body})"

@@ -1,0 +1,51 @@
+"""Violation detection over a whole rule set.
+
+MLNClean performs detection and repair together, but the experiments (and the
+HoloClean baseline, which needs an explicit detection phase) still need a way
+to enumerate all schema-level violations of a rule set and the cells they
+implicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.constraints.rules import Rule, Violation
+from repro.dataset.table import Cell, Table
+
+
+def detect_violations(table: Table, rules: Sequence[Rule]) -> list[Violation]:
+    """All violations of all rules, in rule order."""
+    found: list[Violation] = []
+    for rule in rules:
+        found.extend(rule.violations(table))
+    return found
+
+
+def violating_cells(table: Table, rules: Sequence[Rule]) -> set[Cell]:
+    """The set of cells implicated by at least one violation."""
+    cells: set[Cell] = set()
+    for violation in detect_violations(table, rules):
+        cells.update(violation.suspect_cells)
+    return cells
+
+
+def violating_tids(table: Table, rules: Sequence[Rule]) -> set[int]:
+    """The set of tuples involved in at least one violation."""
+    tids: set[int] = set()
+    for violation in detect_violations(table, rules):
+        tids.update(violation.tids)
+    return tids
+
+
+def violation_summary(table: Table, rules: Sequence[Rule]) -> dict[str, int]:
+    """Per-rule violation counts (rule name -> number of violations)."""
+    summary: dict[str, int] = {}
+    for rule in rules:
+        summary[rule.name] = len(rule.violations(table))
+    return summary
+
+
+def is_consistent(table: Table, rules: Sequence[Rule]) -> bool:
+    """True when no rule has any violation in the table."""
+    return all(not rule.violations(table) for rule in rules)

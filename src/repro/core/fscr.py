@@ -1,0 +1,289 @@
+"""FSCR — fusion-score based conflict resolution (Section 5.2, Algorithm 2).
+
+Stage I leaves one clean γ per group but up to ``|B|`` *data versions* per
+tuple — one from every block — and those versions can disagree on shared
+attributes (tuple t3 of the running example keeps ``CT = DOTHAN`` in block B1
+and ``CT = BOAZ`` in block B3).  FSCR fuses the versions of each tuple into a
+single assignment, preferring the fusion with the highest *fusion score*
+
+    f-score(t) = w(γ¹) × w(γ²) × ... × w(γᵐ)
+
+(the product of the fused γ weights, Eq. 5).  When two versions conflict, the
+conflicting version can be swapped for the highest-weight γ of its block that
+does not conflict with what has been fused so far; if no such γ exists the
+fusion attempt fails (f-score 0), matching Algorithm 2.
+
+Because the fusion result depends on the merge order, the search tries every
+order when the number of versions is small (``fscr_exhaustive_limit``) and
+otherwise tries each version as the starting point followed by the remaining
+versions in decreasing weight order — the factorial search of the paper,
+bounded for large rule sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import MLNCleanConfig
+from repro.core.index import Block, DataPiece
+from repro.dataset.table import Cell, Table
+from repro.metrics.component import StageCounts
+
+CleanLookup = Callable[[int], dict[str, str]]
+
+#: learned weights are capped here before exponentiation so the fusion-score
+#: product cannot overflow even for tuples covered by many rules.
+_WEIGHT_CAP = 30.0
+
+
+def _weight_factor(weight: float) -> float:
+    """The positive factor a γ contributes to the fusion score.
+
+    The paper's fusion score multiplies γ weights (Eq. 5); because learned
+    weights can be negative the product is taken over ``exp(w)`` instead —
+    ``Pr(γ) ∝ exp(w)`` by Eq. 2, and the exponential preserves the weight
+    ordering while keeping every factor positive.
+    """
+    return math.exp(min(weight, _WEIGHT_CAP))
+
+
+@dataclass
+class TupleFusion:
+    """The fusion chosen for one tuple."""
+
+    tid: int
+    assignment: dict[str, str]
+    f_score: float
+    conflicted_attributes: set[str] = field(default_factory=set)
+    substitutions: int = 0
+
+
+@dataclass
+class FSCROutcome:
+    """Result of running FSCR over the whole table."""
+
+    repaired: Table
+    fusions: dict[int, TupleFusion] = field(default_factory=dict)
+    failed_tuples: list[int] = field(default_factory=list)
+    counts: StageCounts = field(default_factory=StageCounts)
+
+
+class FusionScoreResolver:
+    """Derives the unified clean table from the per-block data versions."""
+
+    def __init__(self, config: Optional[MLNCleanConfig] = None):
+        self.config = config or MLNCleanConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        dirty: Table,
+        blocks: list[Block],
+        clean_lookup: Optional[CleanLookup] = None,
+        dirty_cells: Optional[set[Cell]] = None,
+    ) -> FSCROutcome:
+        """Fuse the data versions of every tuple and apply them to a copy.
+
+        ``clean_lookup`` and ``dirty_cells`` (the injected cells) enable the
+        Precision-F / Recall-F instrumentation.
+        """
+        repaired = dirty.copy(name=f"{dirty.name}-repaired")
+        outcome = FSCROutcome(repaired=repaired)
+        tid_versions = self._versions_by_tid(blocks)
+        block_candidates = self._candidates_by_block(blocks)
+
+        for tid in dirty.tids:
+            versions = tid_versions.get(tid, [])
+            if not versions:
+                continue
+            fusion = self._fuse_tuple(
+                tid, versions, block_candidates, dirty.row(tid).as_dict()
+            )
+            if fusion is None:
+                outcome.failed_tuples.append(tid)
+                continue
+            outcome.fusions[tid] = fusion
+            for attribute, value in fusion.assignment.items():
+                repaired.set_value(tid, attribute, value)
+
+        if clean_lookup is not None and dirty_cells is not None:
+            self._instrument(outcome, dirty, repaired, clean_lookup, dirty_cells)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # fusion search
+    # ------------------------------------------------------------------
+    def _fuse_tuple(
+        self,
+        tid: int,
+        versions: list[tuple[Block, DataPiece]],
+        block_candidates: dict[str, list[DataPiece]],
+        current_values: dict[str, str],
+    ) -> Optional[TupleFusion]:
+        """The best fusion of one tuple's data versions (Algorithm 2)."""
+        conflicted_attributes: set[str] = set()
+        best: Optional[TupleFusion] = None
+        for order in self._merge_orders(versions):
+            attempt = self._try_order(
+                order, block_candidates, conflicted_attributes, current_values
+            )
+            if attempt is None:
+                continue
+            assignment, f_score, substitutions = attempt
+            if best is None or f_score > best.f_score:
+                best = TupleFusion(
+                    tid=tid,
+                    assignment=assignment,
+                    f_score=f_score,
+                    substitutions=substitutions,
+                )
+        if best is not None:
+            best.conflicted_attributes = conflicted_attributes
+        return best
+
+    def _merge_orders(
+        self, versions: list[tuple[Block, DataPiece]]
+    ) -> list[list[tuple[Block, DataPiece]]]:
+        """The fusion orders to try.
+
+        All permutations up to ``fscr_exhaustive_limit`` versions; otherwise
+        each version leads once, followed by the rest in decreasing weight
+        order (a greedy approximation of the factorial search).
+        """
+        if len(versions) <= self.config.fscr_exhaustive_limit:
+            return [list(order) for order in itertools.permutations(versions)]
+        orders: list[list[tuple[Block, DataPiece]]] = []
+        for index, leader in enumerate(versions):
+            rest = versions[:index] + versions[index + 1 :]
+            rest.sort(key=lambda item: item[1].weight, reverse=True)
+            orders.append([leader, *rest])
+        return orders
+
+    def _try_order(
+        self,
+        order: list[tuple[Block, DataPiece]],
+        block_candidates: dict[str, list[DataPiece]],
+        conflicted_attributes: set[str],
+        current_values: dict[str, str],
+    ) -> Optional[tuple[dict[str, str], float, int]]:
+        """Fuse the versions in one specific order; ``None`` when it fails."""
+        assignment: dict[str, str] = {}
+        f_score = 1.0
+        substitutions = 0
+        for block, piece in order:
+            candidate = piece
+            conflicts = self._conflicts(assignment, candidate.as_assignment())
+            if conflicts:
+                conflicted_attributes.update(conflicts)
+                candidate = self._find_substitute(
+                    assignment, block_candidates[block.name]
+                )
+                if candidate is None:
+                    return None
+                substitutions += 1
+            assignment.update(
+                {
+                    attribute: value
+                    for attribute, value in candidate.as_assignment().items()
+                    if attribute not in assignment
+                }
+            )
+            f_score *= _weight_factor(candidate.weight)
+        # Minimality factor: fusions that rewrite fewer of the tuple's values
+        # are preferred when the weight products are comparable (the paper's
+        # cleaning criteria combine statistical evidence with the principle of
+        # minimality; see DESIGN.md for the rationale of this extension).
+        if self.config.fscr_minimality_bias > 0.0:
+            changes = sum(
+                1
+                for attribute, value in assignment.items()
+                if current_values.get(attribute) != value
+            )
+            f_score *= math.exp(-self.config.fscr_minimality_bias * changes)
+        return assignment, f_score, substitutions
+
+    @staticmethod
+    def _conflicts(
+        assignment: dict[str, str], candidate: dict[str, str]
+    ) -> list[str]:
+        """Shared attributes on which the fusion and the candidate disagree."""
+        return [
+            attribute
+            for attribute, value in candidate.items()
+            if attribute in assignment and assignment[attribute] != value
+        ]
+
+    def _find_substitute(
+        self, assignment: dict[str, str], candidates: list[DataPiece]
+    ) -> Optional[DataPiece]:
+        """The highest-weight γ of the block that agrees with the fusion."""
+        for candidate in candidates:
+            if not self._conflicts(assignment, candidate.as_assignment()):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # precomputed lookups
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _versions_by_tid(blocks: list[Block]) -> dict[int, list[tuple[Block, DataPiece]]]:
+        """For each tuple, its post-Stage-I γ in every block that covers it."""
+        versions: dict[int, list[tuple[Block, DataPiece]]] = {}
+        for block in blocks:
+            for group in block.group_list:
+                for piece in group.gammas:
+                    for tid in piece.tids:
+                        versions.setdefault(tid, []).append((block, piece))
+        return versions
+
+    @staticmethod
+    def _candidates_by_block(blocks: list[Block]) -> dict[str, list[DataPiece]]:
+        """Per block (by rule name), all post-Stage-I γs sorted by weight.
+
+        Several :class:`Block` objects can share a rule name when the caller
+        is the distributed driver (one block per rule *per partition*); their
+        candidate pools are merged so the substitution search sees the global
+        pool, as the paper's gather step intends.
+        """
+        candidates: dict[str, list[DataPiece]] = {}
+        for block in blocks:
+            candidates.setdefault(block.name, []).extend(block.pieces)
+        for pieces in candidates.values():
+            pieces.sort(key=lambda piece: piece.weight, reverse=True)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def _instrument(
+        self,
+        outcome: FSCROutcome,
+        dirty: Table,
+        repaired: Table,
+        clean_lookup: CleanLookup,
+        dirty_cells: set[Cell],
+    ) -> None:
+        """Fill the Precision-F / Recall-F counters (Section 7.3)."""
+        counts = outcome.counts
+        for cell in dirty_cells:
+            if not repaired.has_tid(cell.tid):
+                continue
+            counts.total_erroneous_values += 1
+            clean_value = clean_lookup(cell.tid)[cell.attribute]
+            repaired_value = repaired.value(cell.tid, cell.attribute)
+            is_correct = repaired_value == clean_value
+            if is_correct:
+                counts.fscr_correct_values += 1
+            fusion = outcome.fusions.get(cell.tid)
+            involved_in_conflict = (
+                fusion is not None and cell.attribute in fusion.conflicted_attributes
+            )
+            if involved_in_conflict:
+                counts.conflict_erroneous_values += 1
+                if is_correct:
+                    counts.conflict_correct_values += 1

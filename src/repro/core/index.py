@@ -1,0 +1,256 @@
+"""The two-layer MLN index (Section 4 and Figure 2 of the paper).
+
+The first layer is a set of **blocks**, one per MLN rule; the second layer
+splits each block into **groups** of *pieces of data* (γ) that share the same
+values on the rule's reason part.  A γ carries the attribute values of one
+tuple restricted to the rule's attributes, so a tuple contributes at most one
+γ per block and the block collection holds up to ``|B|`` *data versions* of
+every tuple.
+
+Index construction is lines 1-13 of Algorithm 1 and costs
+``O(|B| × |T|)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.constraints.rules import Rule
+from repro.dataset.table import Table
+
+
+class DataPiece:
+    """A piece of data γ: the reason/result values of some tuples w.r.t. a rule.
+
+    All tuples whose values coincide on the rule's attributes share one γ;
+    ``support`` is the number of such tuples (the ``c(γ)`` of Eq. 4) and
+    ``weight`` is the Markov weight learned for the γ's ground clause.
+    """
+
+    __slots__ = ("rule", "reason_values", "result_values", "tids", "weight")
+
+    def __init__(
+        self,
+        rule: Rule,
+        reason_values: tuple[str, ...],
+        result_values: tuple[str, ...],
+        tids: Optional[Iterable[int]] = None,
+    ):
+        self.rule = rule
+        self.reason_values = reason_values
+        self.result_values = result_values
+        self.tids: list[int] = list(tids) if tids is not None else []
+        self.weight: float = 0.0
+
+    @property
+    def key(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Identity of the γ inside its block: (reason values, result values)."""
+        return (self.reason_values, self.result_values)
+
+    @property
+    def support(self) -> int:
+        """Number of tuples related to this γ (``c(γ)``)."""
+        return len(self.tids)
+
+    @property
+    def values(self) -> tuple[str, ...]:
+        """Reason values followed by result values."""
+        return self.reason_values + self.result_values
+
+    def as_assignment(self) -> dict[str, str]:
+        """The γ as an attribute → value mapping over the rule's attributes."""
+        attributes = self.rule.reason_attributes + self.rule.result_attributes
+        return dict(zip(attributes, self.values))
+
+    def add_tuple(self, tid: int) -> None:
+        self.tids.append(tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataPiece({self.rule.name}, {self.as_assignment()!r}, "
+            f"support={self.support}, weight={self.weight:.3f})"
+        )
+
+
+class Group:
+    """A second-layer bucket: all γs sharing the same reason-part values."""
+
+    __slots__ = ("key", "pieces")
+
+    def __init__(self, key: tuple[str, ...]):
+        self.key = key
+        #: γs keyed by their (reason, result) identity
+        self.pieces: dict[tuple[tuple[str, ...], tuple[str, ...]], DataPiece] = {}
+
+    def add_piece(self, piece: DataPiece) -> None:
+        """Insert a γ, merging tuple lists if an identical γ already exists."""
+        existing = self.pieces.get(piece.key)
+        if existing is None:
+            self.pieces[piece.key] = piece
+        else:
+            existing.tids.extend(piece.tids)
+
+    @property
+    def gammas(self) -> list[DataPiece]:
+        return list(self.pieces.values())
+
+    @property
+    def size(self) -> int:
+        """Number of distinct γs in the group."""
+        return len(self.pieces)
+
+    @property
+    def tuple_count(self) -> int:
+        """Total number of tuples related to the group's γs."""
+        return sum(piece.support for piece in self.pieces.values())
+
+    @property
+    def tids(self) -> list[int]:
+        """All tuple ids covered by the group."""
+        collected: list[int] = []
+        for piece in self.pieces.values():
+            collected.extend(piece.tids)
+        return collected
+
+    def representative(self) -> DataPiece:
+        """γ*: the piece related to the most tuples (ties broken by values).
+
+        AGP measures group-to-group distance between representatives.
+        """
+        if not self.pieces:
+            raise ValueError("cannot pick a representative of an empty group")
+        return max(self.pieces.values(), key=lambda p: (p.support, p.values))
+
+    def is_resolved(self) -> bool:
+        """True when the group has reached the ideal single-γ state."""
+        return len(self.pieces) <= 1
+
+    def __iter__(self) -> Iterator[DataPiece]:
+        return iter(self.pieces.values())
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group(key={self.key!r}, gammas={self.size}, tuples={self.tuple_count})"
+
+
+class Block:
+    """A first-layer bucket: every γ derived from one rule."""
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        #: groups keyed by reason-part values
+        self.groups: dict[tuple[str, ...], Group] = {}
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+    @property
+    def attributes(self) -> list[str]:
+        """The rule's attributes (reason first, then result)."""
+        return self.rule.reason_attributes + self.rule.result_attributes
+
+    def add_tuple(self, tid: int, values: dict[str, str]) -> Optional[DataPiece]:
+        """Insert one tuple's γ; returns it, or ``None`` if the rule skips it."""
+        if not self.rule.covers(values):
+            return None
+        reason_values = tuple(values[a] for a in self.rule.reason_attributes)
+        result_values = tuple(values[a] for a in self.rule.result_attributes)
+        group = self.groups.get(reason_values)
+        if group is None:
+            group = Group(reason_values)
+            self.groups[reason_values] = group
+        piece = group.pieces.get((reason_values, result_values))
+        if piece is None:
+            piece = DataPiece(self.rule, reason_values, result_values)
+            group.pieces[piece.key] = piece
+        piece.add_tuple(tid)
+        return piece
+
+    @property
+    def group_list(self) -> list[Group]:
+        return list(self.groups.values())
+
+    @property
+    def pieces(self) -> list[DataPiece]:
+        """Every γ of the block across all groups."""
+        collected: list[DataPiece] = []
+        for group in self.groups.values():
+            collected.extend(group.pieces.values())
+        return collected
+
+    def remove_group(self, key: tuple[str, ...]) -> Group:
+        """Detach and return a group (AGP does this when merging)."""
+        return self.groups.pop(key)
+
+    def group_of_tid(self, tid: int) -> Optional[Group]:
+        """The group currently holding a tuple (``None`` if not covered)."""
+        for group in self.groups.values():
+            for piece in group.pieces.values():
+                if tid in piece.tids:
+                    return group
+        return None
+
+    def piece_of_tid(self, tid: int) -> Optional[DataPiece]:
+        """The γ currently holding a tuple (``None`` if not covered)."""
+        for group in self.groups.values():
+            for piece in group.pieces.values():
+                if tid in piece.tids:
+                    return piece
+        return None
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.name!r}, groups={len(self.groups)})"
+
+
+class MLNIndex:
+    """The two-layer index over a dirty table for a rule set."""
+
+    def __init__(self, blocks: dict[str, Block]):
+        self.blocks = blocks
+
+    @classmethod
+    def build(cls, table: Table, rules: Sequence[Rule]) -> "MLNIndex":
+        """Construct the index (lines 1-13 of Algorithm 1)."""
+        blocks: dict[str, Block] = {}
+        for rule in rules:
+            blocks[rule.name] = Block(rule)
+        for row in table:
+            values = row.as_dict()
+            for block in blocks.values():
+                block.add_tuple(row.tid, values)
+        return cls(blocks)
+
+    @property
+    def block_list(self) -> list[Block]:
+        return list(self.blocks.values())
+
+    def block(self, rule_name: str) -> Block:
+        return self.blocks[rule_name]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        groups = sum(len(block) for block in self.blocks.values())
+        return f"MLNIndex(blocks={len(self.blocks)}, groups={groups})"
+
+    def statistics(self) -> dict[str, dict[str, int]]:
+        """Per-block group / γ / tuple counts (useful in reports and tests)."""
+        stats: dict[str, dict[str, int]] = {}
+        for name, block in self.blocks.items():
+            stats[name] = {
+                "groups": len(block.groups),
+                "gammas": len(block.pieces),
+                "tuples": sum(group.tuple_count for group in block.groups.values()),
+            }
+        return stats

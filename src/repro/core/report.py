@@ -1,0 +1,106 @@
+"""The cleaning report returned by the MLNClean pipeline.
+
+One :class:`CleaningReport` bundles everything an experiment needs: the
+repaired table (before and after duplicate elimination), wall-clock timings
+per phase, and — when the run was instrumented with a ground truth — the
+overall repair accuracy (Eq. 7) and the per-component accuracy of AGP, RSC
+and FSCR (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.agp import AGPOutcome
+from repro.core.dedup import DeduplicationResult
+from repro.core.fscr import FSCROutcome
+from repro.core.rsc import RSCOutcome
+from repro.dataset.table import Table
+from repro.metrics.accuracy import RepairAccuracy
+from repro.metrics.component import ComponentAccuracy, StageCounts
+from repro.metrics.timing import TimingBreakdown
+
+
+@dataclass
+class CleaningReport:
+    """Everything produced by one MLNClean run."""
+
+    #: the input (dirty) table
+    dirty: Table
+    #: the repaired table with every tuple still present
+    repaired: Table
+    #: the repaired table after duplicate elimination (equals ``repaired``
+    #: when deduplication is disabled)
+    cleaned: Table
+    #: wall-clock breakdown per pipeline phase
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    #: stage outcomes, for drill-down and for the component metrics
+    agp: Optional[AGPOutcome] = None
+    rsc: Optional[RSCOutcome] = None
+    fscr: Optional[FSCROutcome] = None
+    dedup: Optional[DeduplicationResult] = None
+    #: overall repair accuracy (only in instrumented runs)
+    accuracy: Optional[RepairAccuracy] = None
+
+    @property
+    def runtime(self) -> float:
+        """Total wall-clock time of the run in seconds."""
+        return self.timings.total
+
+    @property
+    def component_accuracy(self) -> ComponentAccuracy:
+        """AGP / RSC / FSCR accuracy assembled from the stage outcomes."""
+        counts = StageCounts()
+        if self.agp is not None:
+            counts = counts.merge(self.agp.counts)
+        if self.rsc is not None:
+            counts = counts.merge(self.rsc.counts)
+        if self.fscr is not None:
+            counts = counts.merge(self.fscr.counts)
+        return ComponentAccuracy(counts)
+
+    @property
+    def f1(self) -> float:
+        """Overall F1 (0.0 when the run was not instrumented)."""
+        return self.accuracy.f1 if self.accuracy is not None else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary of the headline numbers (for tables/benchmarks)."""
+        summary: dict[str, float] = {
+            "runtime_seconds": self.runtime,
+            "tuples_in": float(len(self.dirty)),
+            "tuples_out": float(len(self.cleaned)),
+        }
+        if self.accuracy is not None:
+            summary.update(
+                {
+                    "precision": self.accuracy.precision,
+                    "recall": self.accuracy.recall,
+                    "f1": self.accuracy.f1,
+                }
+            )
+            summary.update(self.component_accuracy.as_dict())
+        return summary
+
+    def describe(self) -> str:
+        """A short human-readable report (used by the examples)."""
+        lines = [
+            f"tuples: {len(self.dirty)} in, {len(self.cleaned)} out",
+            f"runtime: {self.runtime:.3f}s "
+            f"({', '.join(f'{k}={v:.3f}s' for k, v in self.timings.phases.items())})",
+        ]
+        if self.accuracy is not None:
+            lines.append(
+                f"accuracy: precision={self.accuracy.precision:.3f} "
+                f"recall={self.accuracy.recall:.3f} f1={self.accuracy.f1:.3f}"
+            )
+            component = self.component_accuracy
+            lines.append(
+                f"components: AGP P/R={component.precision_a:.3f}/{component.recall_a:.3f} "
+                f"RSC P/R={component.precision_r:.3f}/{component.recall_r:.3f} "
+                f"FSCR P/R={component.precision_f:.3f}/{component.recall_f:.3f}"
+            )
+        if self.dedup is not None:
+            lines.append(f"duplicates removed: {self.dedup.removed_count}")
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""RSC — reliability-score based cleaning inside each group (Section 5.1.2).
+
+After AGP every group of a block holds the γs that *should* agree on the
+rule's result part.  When a group still contains several distinct γs, some of
+them must be dirty.  RSC ranks the γs by the reliability score of
+Definition 2,
+
+    r-score(γ) = min_{γ* ∈ G∖{γ}} dist(γ, γ*) × w(γ)
+
+where ``dist(γ, γ*) = n/Z · d(γ, γ*)`` combines the distance (the principle
+of minimality: replacing a far-away, well-supported γ is expensive) with the
+Markov weight ``w(γ)`` learned from the evidence (the statistical signal).
+The γ with the highest score is declared clean and every other γ of the group
+is overwritten with it, so each group ends with exactly one γ.
+
+Weight learning is the expensive part of MLNClean (the paper attributes about
+95 % of its runtime to it); it runs once per block before the per-group
+cleaning, using the diagonal-Newton learner with the Eq.-4 prior.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.config import MLNCleanConfig
+from repro.core.index import Block, DataPiece, Group
+from repro.distance.base import DistanceMetric
+from repro.metrics.component import StageCounts
+from repro.mln.weights import learn_group_weights
+
+CleanLookup = Callable[[int], dict[str, str]]
+
+
+@dataclass
+class GammaRepair:
+    """One RSC rewrite: a losing γ replaced by the group winner."""
+
+    block_name: str
+    group_key: tuple[str, ...]
+    original_values: tuple[str, ...]
+    repaired_values: tuple[str, ...]
+    tids: list[int]
+
+
+@dataclass
+class RSCOutcome:
+    """Result of running RSC on one block (or a whole index)."""
+
+    repairs: list[GammaRepair] = field(default_factory=list)
+    cleaned_groups: int = 0
+    skipped_groups: int = 0
+    counts: StageCounts = field(default_factory=StageCounts)
+
+    def extend(self, other: "RSCOutcome") -> None:
+        self.repairs.extend(other.repairs)
+        self.cleaned_groups += other.cleaned_groups
+        self.skipped_groups += other.skipped_groups
+        self.counts = self.counts.merge(other.counts)
+
+
+class ReliabilityScoreCleaner:
+    """Learns block weights and resolves every group to a single γ."""
+
+    def __init__(self, config: Optional[MLNCleanConfig] = None):
+        self.config = config or MLNCleanConfig()
+        self._metric: DistanceMetric = self.config.metric()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def learn_block_weights(self, block: Block) -> None:
+        """Learn the Markov weight of every γ of the block (Eq. 3 / Eq. 4).
+
+        Groups compete internally (softmax over the group's γs), and the
+        Eq.-4 prior ``c(γ)/Σc(γ')`` anchors the solution, exactly as the
+        Tuffy-style learner the paper uses.
+        """
+        pieces = block.pieces
+        if not pieces:
+            return
+        total_support = sum(piece.support for piece in pieces)
+        priors = {
+            piece.key: (piece.support / total_support if total_support else 0.0)
+            for piece in pieces
+        }
+        group_counts = {
+            "|".join(group.key): {
+                piece.key: piece.support for piece in group.gammas
+            }
+            for group in block.group_list
+        }
+        learned = learn_group_weights(group_counts, priors, self.config.weight_learning)
+        for group in block.group_list:
+            for piece in group.gammas:
+                piece.weight = learned.get(piece.key, 0.0)
+
+    def clean_block(
+        self,
+        block: Block,
+        clean_lookup: Optional[CleanLookup] = None,
+        relearn_weights: bool = True,
+    ) -> RSCOutcome:
+        """Learn weights, then resolve every group of the block to one γ.
+
+        ``relearn_weights=False`` keeps the weights already attached to the
+        block's γs — the distributed driver uses this after replacing the
+        locally learned weights with the Eq.-6 global ones.
+        """
+        if relearn_weights:
+            self.learn_block_weights(block)
+        outcome = RSCOutcome()
+        for group in block.group_list:
+            if group.is_resolved():
+                outcome.skipped_groups += 1
+                continue
+            outcome.extend(self._clean_group(block, group, clean_lookup))
+            outcome.cleaned_groups += 1
+        return outcome
+
+    def clean_index(
+        self,
+        blocks: list[Block],
+        clean_lookup: Optional[CleanLookup] = None,
+        relearn_weights: bool = True,
+    ) -> RSCOutcome:
+        outcome = RSCOutcome()
+        for block in blocks:
+            outcome.extend(self.clean_block(block, clean_lookup, relearn_weights))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def reliability_scores(self, group: Group) -> dict[DataPiece, float]:
+        """The r-score of every γ of a multi-γ group (Definition 2).
+
+        The probability factor of the definition is ``Pr(γ) ∝ exp(w(γ))``
+        (Eq. 2 / Eq. 3); the exponential is normalised by the group's maximum
+        weight so it stays in ``(0, 1]`` — this keeps the score positive (the
+        distance factor would otherwise flip its meaning for γs whose learned
+        weight is negative) while preserving the weight ordering the paper
+        relies on.
+        """
+        gammas = group.gammas
+        if len(gammas) < 2:
+            return {piece: 1.0 for piece in gammas}
+        raw: dict[DataPiece, float] = {}
+        for piece in gammas:
+            min_distance = min(
+                self._metric.values_distance(piece.values, other.values)
+                for other in gammas
+                if other is not piece
+            )
+            raw[piece] = piece.support * min_distance
+        # Z normalises n·d into [0, 1] within the group.
+        normaliser = max(raw.values()) or 1.0
+        max_weight = max(piece.weight for piece in gammas)
+        return {
+            piece: (raw[piece] / normaliser) * math.exp(piece.weight - max_weight)
+            for piece in gammas
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _clean_group(
+        self,
+        block: Block,
+        group: Group,
+        clean_lookup: Optional[CleanLookup],
+    ) -> RSCOutcome:
+        outcome = RSCOutcome()
+        scores = self.reliability_scores(group)
+        winner = max(
+            group.gammas, key=lambda piece: (scores[piece], piece.support, piece.values)
+        )
+        attributes = block.attributes
+        losers = [piece for piece in group.gammas if piece is not winner]
+
+        if clean_lookup is not None:
+            for piece in group.gammas:
+                if self._gamma_is_erroneous(piece, attributes, clean_lookup):
+                    outcome.counts.erroneous_gammas += 1
+
+        for piece in losers:
+            repair = GammaRepair(
+                block_name=block.name,
+                group_key=group.key,
+                original_values=piece.values,
+                repaired_values=winner.values,
+                tids=list(piece.tids),
+            )
+            outcome.repairs.append(repair)
+            if clean_lookup is not None:
+                outcome.counts.repaired_gammas += 1
+                if self._repair_is_correct(piece, winner, attributes, clean_lookup):
+                    outcome.counts.correctly_repaired_gammas += 1
+            winner.tids.extend(piece.tids)
+            del group.pieces[piece.key]
+        return outcome
+
+    @staticmethod
+    def _gamma_is_erroneous(
+        piece: DataPiece, attributes: list[str], clean_lookup: CleanLookup
+    ) -> bool:
+        """Whether the γ's values disagree with the clean values of any tuple."""
+        for tid in piece.tids:
+            clean = clean_lookup(tid)
+            if tuple(clean[a] for a in attributes) != piece.values:
+                return True
+        return False
+
+    @staticmethod
+    def _repair_is_correct(
+        piece: DataPiece,
+        winner: DataPiece,
+        attributes: list[str],
+        clean_lookup: CleanLookup,
+    ) -> bool:
+        """Whether replacing the γ with the winner restores its tuples.
+
+        The repair is counted correct when the winner's values match the
+        clean values of the majority of the rewritten tuples.
+        """
+        if not piece.tids:
+            return False
+        matches = sum(
+            1
+            for tid in piece.tids
+            if tuple(clean_lookup(tid)[a] for a in attributes) == winner.values
+        )
+        return matches * 2 >= len(piece.tids)

@@ -1,0 +1,29 @@
+"""Relational dataset substrate used throughout the MLNClean reproduction.
+
+The paper operates on a single dirty relation ``T`` with attributes
+``A1 .. Ad`` and tuples ``t1 .. tn`` (Section 3).  This package provides the
+in-memory representation of such a relation together with schema metadata,
+attribute domains, cell addressing, CSV I/O, and the worked sample dataset of
+Table 1 in the paper.
+"""
+
+from repro.dataset.domain import Domain
+from repro.dataset.schema import Schema
+from repro.dataset.table import Cell, Row, Table
+from repro.dataset.io import read_csv, write_csv, table_from_records
+
+# NOTE: repro.dataset.sample (the paper's Table-1 fixture) is intentionally not
+# imported here: it depends on repro.constraints, which itself depends on this
+# package, and importing it eagerly would create an import cycle.  Import it
+# directly as ``from repro.dataset.sample import sample_hospital_table``.
+
+__all__ = [
+    "Cell",
+    "Domain",
+    "Row",
+    "Schema",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "table_from_records",
+]

@@ -1,0 +1,124 @@
+"""Attribute domains.
+
+The paper writes ``ti.[Aj] ∈ C(Ai)`` where ``C(Ai)`` is the domain of
+attribute ``Ai`` (Section 3).  Domains matter in two places of the
+reproduction:
+
+* the replacement-error injector draws a wrong value "from the same domain"
+  (Section 7.1), and
+* the HoloClean baseline prunes repair candidates to domain values that
+  co-occur with the tuple's context.
+
+A :class:`Domain` is an ordered set of distinct values observed for one
+attribute, with frequency counts so callers can sample proportionally to the
+empirical distribution or uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+
+class Domain:
+    """The set of values an attribute takes, with observation counts."""
+
+    def __init__(self, attribute: str, values: Optional[Iterable[str]] = None):
+        self.attribute = attribute
+        self._counts: Counter = Counter()
+        self._order: list[str] = []
+        if values is not None:
+            for value in values:
+                self.add(value)
+
+    def add(self, value: str, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if value not in self._counts:
+            self._order.append(value)
+        self._counts[value] += count
+
+    def discard(self, value: str) -> None:
+        """Remove ``value`` from the domain entirely (all observations)."""
+        if value in self._counts:
+            del self._counts[value]
+            self._order.remove(value)
+
+    def count(self, value: str) -> int:
+        """Number of recorded observations of ``value`` (0 if absent)."""
+        return self._counts.get(value, 0)
+
+    def frequency(self, value: str) -> float:
+        """Relative frequency of ``value`` among all observations."""
+        total = self.total_observations
+        if total == 0:
+            return 0.0
+        return self._counts.get(value, 0) / total
+
+    @property
+    def values(self) -> list[str]:
+        """Distinct values in first-seen order."""
+        return list(self._order)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values."""
+        return len(self._order)
+
+    @property
+    def total_observations(self) -> int:
+        """Total number of observations recorded across all values."""
+        return sum(self._counts.values())
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._counts
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self.attribute!r}, size={self.size})"
+
+    def sample(self, rng: random.Random, exclude: Optional[str] = None) -> str:
+        """Sample a domain value uniformly, optionally excluding one value.
+
+        Used by the replacement-error injector: the paper replaces a value
+        "with another value from the same domain".
+        """
+        candidates = [v for v in self._order if v != exclude]
+        if not candidates:
+            raise ValueError(
+                f"domain of {self.attribute!r} has no value other than {exclude!r}"
+            )
+        return rng.choice(candidates)
+
+    def sample_weighted(
+        self, rng: random.Random, exclude: Optional[str] = None
+    ) -> str:
+        """Sample a domain value proportionally to its observation count."""
+        candidates = [(v, c) for v, c in self._counts.items() if v != exclude]
+        if not candidates:
+            raise ValueError(
+                f"domain of {self.attribute!r} has no value other than {exclude!r}"
+            )
+        values, weights = zip(*candidates)
+        return rng.choices(list(values), weights=list(weights), k=1)[0]
+
+    def most_common(self, n: Optional[int] = None) -> list[tuple[str, int]]:
+        """Values sorted by observation count, most frequent first."""
+        return self._counts.most_common(n)
+
+    def merge(self, other: "Domain") -> "Domain":
+        """Return a new domain with the observations of both domains."""
+        merged = Domain(self.attribute)
+        for value in self._order:
+            merged.add(value, self._counts[value])
+        for value in other._order:
+            merged.add(value, other._counts[value])
+        return merged

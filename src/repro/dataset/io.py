@@ -1,0 +1,70 @@
+"""CSV input/output for :class:`~repro.dataset.table.Table`.
+
+The real datasets of the paper (HAI, CAR, TPC-H) are CSV files; the synthetic
+workload generators of :mod:`repro.workloads` can also round-trip through CSV
+so experiments are repeatable from files on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.dataset.table import Table
+
+PathLike = Union[str, Path]
+
+
+def read_csv(
+    path: PathLike,
+    attributes: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a table from a CSV file with a header row.
+
+    ``attributes`` restricts (and reorders) the loaded columns; by default all
+    columns of the file are loaded in file order.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} has no header row")
+        columns = list(attributes) if attributes is not None else list(reader.fieldnames)
+        missing = [c for c in columns if c not in reader.fieldnames]
+        if missing:
+            raise KeyError(f"{path} is missing columns {missing!r}")
+        records = [{c: (row[c] or "") for c in columns} for row in reader]
+    table_name = name if name is not None else path.stem
+    if not records:
+        table = Table.from_records([], attributes=columns, name=table_name) \
+            if columns else None
+        if table is None:
+            raise ValueError(f"{path} is empty and no attributes were given")
+        return table
+    return Table.from_records(records, attributes=columns, name=table_name)
+
+
+def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a table to CSV with a header row (tuple ids are not persisted)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=table.schema.attributes, delimiter=delimiter
+        )
+        writer.writeheader()
+        for row in table:
+            writer.writerow(row.as_dict())
+
+
+def table_from_records(
+    records: Sequence[Mapping[str, str]],
+    attributes: Optional[Sequence[str]] = None,
+    name: str = "T",
+) -> Table:
+    """Convenience wrapper around :meth:`Table.from_records`."""
+    return Table.from_records(records, attributes=attributes, name=name)

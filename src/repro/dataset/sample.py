@@ -1,0 +1,73 @@
+"""The worked example of the paper: Table 1 and the rules r1-r3.
+
+The sample hospital-information dataset is used throughout the paper to
+illustrate the MLN index (Figure 2), the AGP merge of the abnormal group G12
+into G11, the reliability-score computation inside group G13 (Example 2 /
+Figure 3), the three clean data versions (Figure 4), and the FSCR fusion of
+tuple t3 (Example 3).  The integration tests replay those examples against
+this fixture.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.rules import (
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    Rule,
+)
+from repro.dataset.table import Table
+
+#: Attribute names of the sample relation (Table 1 of the paper).
+SAMPLE_ATTRIBUTES = ["HN", "CT", "ST", "PN"]
+
+#: The six sampled tuples of Table 1, errors included.
+SAMPLE_RECORDS = [
+    {"HN": "ALABAMA", "CT": "DOTHAN", "ST": "AL", "PN": "3347938701"},
+    {"HN": "ALABAMA", "CT": "DOTH", "ST": "AL", "PN": "3347938701"},
+    {"HN": "ELIZA", "CT": "DOTHAN", "ST": "AL", "PN": "2567638410"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AK", "PN": "2567688400"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+]
+
+#: The intended clean version of each sampled tuple, for the integration tests.
+SAMPLE_CLEAN_RECORDS = [
+    {"HN": "ALABAMA", "CT": "DOTHAN", "ST": "AL", "PN": "3347938701"},
+    {"HN": "ALABAMA", "CT": "DOTHAN", "ST": "AL", "PN": "3347938701"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+    {"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"},
+]
+
+
+def sample_hospital_table(name: str = "hospital-sample") -> Table:
+    """The dirty hospital sample of Table 1 as a :class:`Table` (tids 0-5)."""
+    return Table.from_records(SAMPLE_RECORDS, attributes=SAMPLE_ATTRIBUTES, name=name)
+
+
+def sample_hospital_clean_table(name: str = "hospital-sample-clean") -> Table:
+    """The ground-truth clean version of the sample (duplicates retained)."""
+    return Table.from_records(
+        SAMPLE_CLEAN_RECORDS, attributes=SAMPLE_ATTRIBUTES, name=name
+    )
+
+
+def sample_hospital_rules() -> list[Rule]:
+    """The three integrity constraints r1, r2, r3 of Example 1.
+
+    * r1 (FD):  CT -> ST
+    * r2 (DC):  no two tuples share a phone number but differ on state
+    * r3 (CFD): HN = "ELIZA" and CT = "BOAZ" imply PN = "2567688400"
+    """
+    r1 = FunctionalDependency(["CT"], ["ST"], name="r1")
+    r2 = DenialConstraint.pairwise_equality_implies_equality(
+        equal_attribute="PN", implied_attribute="ST", name="r2"
+    )
+    r3 = ConditionalFunctionalDependency(
+        conditions={"HN": "ELIZA", "CT": "BOAZ"},
+        consequents={"PN": "2567688400"},
+        name="r3",
+    )
+    return [r1, r2, r3]

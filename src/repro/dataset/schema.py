@@ -1,0 +1,76 @@
+"""Relation schema: an ordered list of attribute names.
+
+MLNClean treats every value as a string (the distance metrics, typo model and
+MLN grounding are all string based), so the schema only tracks attribute names
+and positions, not types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+
+class Schema:
+    """Ordered collection of attribute names of a relation."""
+
+    def __init__(self, attributes: Sequence[str]):
+        attrs = list(attributes)
+        if not attrs:
+            raise ValueError("a schema needs at least one attribute")
+        seen: set[str] = set()
+        for name in attrs:
+            if not name:
+                raise ValueError("attribute names must be non-empty")
+            if name in seen:
+                raise ValueError(f"duplicate attribute name: {name!r}")
+            seen.add(name)
+        self._attributes = attrs
+        self._positions = {name: i for i, name in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> list[str]:
+        """Attribute names in declaration order."""
+        return list(self._attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._attributes)
+
+    def position(self, attribute: str) -> int:
+        """Zero-based position of ``attribute``; raises ``KeyError`` if absent."""
+        return self._positions[attribute]
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({self._attributes!r})"
+
+    def validate_attributes(self, attributes: Iterable[str]) -> None:
+        """Raise ``KeyError`` if any of ``attributes`` is not in the schema."""
+        for attribute in attributes:
+            if attribute not in self._positions:
+                raise KeyError(
+                    f"attribute {attribute!r} is not part of the schema "
+                    f"{self._attributes!r}"
+                )
+
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Return a schema restricted to ``attributes`` (kept in given order)."""
+        self.validate_attributes(attributes)
+        return Schema(list(attributes))

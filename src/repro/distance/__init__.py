@@ -1,0 +1,29 @@
+"""String distance metrics.
+
+The distance metric drives two parts of MLNClean (Section 7.3.3):
+
+* the AGP strategy measures the distance between a candidate abnormal group
+  and its nearest normal group, and
+* the RSC reliability score multiplies the minimum replacement distance of a
+  data piece by its learned Markov weight.
+
+The paper evaluates the Levenshtein distance (default) against the cosine
+distance (Table 5).  This package implements both plus a couple of common
+alternatives, all behind a uniform :class:`DistanceMetric` interface and a
+registry keyed by name so experiments can select a metric from configuration.
+"""
+
+from repro.distance.base import DistanceMetric, get_metric, register_metric, available_metrics
+from repro.distance.levenshtein import LevenshteinDistance, DamerauLevenshteinDistance
+from repro.distance.cosine import CosineDistance, JaccardDistance
+
+__all__ = [
+    "DistanceMetric",
+    "LevenshteinDistance",
+    "DamerauLevenshteinDistance",
+    "CosineDistance",
+    "JaccardDistance",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+]

@@ -1,0 +1,104 @@
+"""A simulated worker pool.
+
+The paper runs MLNClean on a Spark cluster with up to ten workers; offline,
+the same *algorithm* is exercised by running each worker's task in-process
+and recording its wall-clock time separately.  Two aggregate runtimes are
+derived from the per-task timings:
+
+* ``sequential_seconds`` — the plain sum (what a single machine pays), and
+* ``makespan_seconds`` — the slowest worker of each phase (what a cluster
+  with one task per worker would pay, ignoring network shuffle cost).
+
+Table 6 of the paper (runtime vs. number of workers) is reproduced with the
+makespan figure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+TaskInput = TypeVar("TaskInput")
+TaskOutput = TypeVar("TaskOutput")
+
+
+@dataclass
+class WorkerResult(Generic[TaskOutput]):
+    """The output and wall-clock time of one worker task."""
+
+    worker_index: int
+    value: TaskOutput
+    elapsed_seconds: float
+
+
+@dataclass
+class PhaseTiming:
+    """Aggregate timing of one map phase across all workers."""
+
+    name: str
+    per_worker_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def sequential_seconds(self) -> float:
+        return sum(self.per_worker_seconds)
+
+    @property
+    def makespan_seconds(self) -> float:
+        return max(self.per_worker_seconds, default=0.0)
+
+
+class SimulatedCluster:
+    """Runs map phases over partitions, one task per (simulated) worker."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.workers = workers
+        self.phases: list[PhaseTiming] = []
+
+    def map(
+        self,
+        name: str,
+        task: Callable[[TaskInput], TaskOutput],
+        inputs: Sequence[TaskInput],
+    ) -> list[WorkerResult[TaskOutput]]:
+        """Apply ``task`` to every input, timing each application.
+
+        Inputs beyond the worker count still run (they model multiple tasks
+        queued on the same worker); the makespan accounts for that by summing
+        the times of tasks assigned to the same worker slot round-robin.
+        """
+        results: list[WorkerResult[TaskOutput]] = []
+        slot_times = [0.0] * self.workers
+        for index, item in enumerate(inputs):
+            started = time.perf_counter()
+            value = task(item)
+            elapsed = time.perf_counter() - started
+            slot_times[index % self.workers] += elapsed
+            results.append(WorkerResult(index, value, elapsed))
+        self.phases.append(PhaseTiming(name, per_worker_seconds=list(slot_times)))
+        return results
+
+    # ------------------------------------------------------------------
+    # aggregate timings
+    # ------------------------------------------------------------------
+    @property
+    def sequential_seconds(self) -> float:
+        """Total compute across all phases and workers."""
+        return sum(phase.sequential_seconds for phase in self.phases)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated parallel runtime: per-phase slowest worker, summed."""
+        return sum(phase.makespan_seconds for phase in self.phases)
+
+    def phase(self, name: str) -> PhaseTiming:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r}")
+
+    def reset(self) -> None:
+        self.phases = []

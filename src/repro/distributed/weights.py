@@ -1,0 +1,80 @@
+"""Global weight adjustment across partitions (Eq. 6 of the paper).
+
+With only a slice of the data on each worker, the locally learned weight of a
+γ "might not be very reliable".  The paper therefore combines the per-part
+weights into a single global weight per γ:
+
+    w(γ) = Σ_i n_i · w_i  /  Σ_i n_i
+
+where ``n_i`` is the number of tuples supporting γ in part ``P_i`` and
+``w_i`` the weight learned there.  Every γ then carries one global weight for
+the remaining cleaning steps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+#: a γ is identified globally by its rule and its reason/result values
+GammaKey = tuple[str, tuple[str, ...], tuple[str, ...]]
+
+
+@dataclass
+class _Accumulator:
+    weighted_sum: float = 0.0
+    support: int = 0
+
+    @property
+    def weight(self) -> float:
+        if self.support == 0:
+            return 0.0
+        return self.weighted_sum / self.support
+
+
+class GlobalWeightStore:
+    """Accumulates per-partition (support, weight) observations per γ."""
+
+    def __init__(self) -> None:
+        self._accumulators: dict[GammaKey, _Accumulator] = {}
+
+    def record(self, key: GammaKey, support: int, weight: float) -> None:
+        """Add one partition's observation of a γ."""
+        if support < 0:
+            raise ValueError("support must be non-negative")
+        accumulator = self._accumulators.setdefault(key, _Accumulator())
+        accumulator.weighted_sum += support * weight
+        accumulator.support += support
+
+    def weight(self, key: GammaKey) -> float:
+        """The Eq.-6 global weight of a γ (0.0 for unknown γs)."""
+        accumulator = self._accumulators.get(key)
+        return accumulator.weight if accumulator is not None else 0.0
+
+    def support(self, key: GammaKey) -> int:
+        accumulator = self._accumulators.get(key)
+        return accumulator.support if accumulator is not None else 0
+
+    def __len__(self) -> int:
+        return len(self._accumulators)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._accumulators
+
+    def items(self) -> Iterable[tuple[GammaKey, float]]:
+        return ((key, acc.weight) for key, acc in self._accumulators.items())
+
+
+def fuse_weights(
+    partition_weights: Iterable[Mapping[GammaKey, tuple[int, float]]]
+) -> GlobalWeightStore:
+    """Build a :class:`GlobalWeightStore` from per-partition observations.
+
+    ``partition_weights`` is one mapping per partition of
+    ``γ key → (support in the partition, learned weight in the partition)``.
+    """
+    store = GlobalWeightStore()
+    for mapping in partition_weights:
+        for key, (support, weight) in mapping.items():
+            store.record(key, support, weight)
+    return store

@@ -1,0 +1,26 @@
+"""Error injection and ground-truth tracking.
+
+The paper evaluates on datasets into which errors are injected synthetically
+(Section 7.1): typos (a randomly chosen character of the value is deleted) and
+replacement errors (the value is swapped for a different value of the same
+domain), on the attributes touched by the integrity constraints, at a
+configurable error rate (fraction of dirty cells over all cells) and error
+type ratio ``Rret`` (fraction of replacement errors among the injected
+errors).
+
+:class:`ErrorInjector` performs the injection and returns a
+:class:`GroundTruth` ledger recording the original value of every corrupted
+cell, which the accuracy metrics consume.
+"""
+
+from repro.errors.injector import ErrorInjector, ErrorSpec, InjectionResult
+from repro.errors.groundtruth import GroundTruth, InjectedError, ErrorType
+
+__all__ = [
+    "ErrorInjector",
+    "ErrorSpec",
+    "InjectionResult",
+    "GroundTruth",
+    "InjectedError",
+    "ErrorType",
+]

@@ -1,0 +1,125 @@
+"""Ground-truth ledger of injected errors.
+
+Every corrupted cell is recorded with its original (correct) value, its dirty
+value and the type of error injected, so that:
+
+* the repair metrics can decide whether a repaired cell was restored to its
+  correct value,
+* the HoloClean baseline can be run in the paper's "100 % detection accuracy"
+  mode (the detector is simply handed the dirty cells), and
+* the component metrics (Precision-A/R/F) can attribute errors to the stage
+  that should have fixed them.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dataset.table import Cell, Table
+
+
+class ErrorType(enum.Enum):
+    """The two instance-level error processes of Section 7.1."""
+
+    TYPO = "typo"
+    REPLACEMENT = "replacement"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """One corrupted cell: where, what it was, what it became, and how."""
+
+    cell: Cell
+    clean_value: str
+    dirty_value: str
+    error_type: ErrorType
+
+
+class GroundTruth:
+    """The ledger of all injected errors for one dirty table."""
+
+    def __init__(self, errors: Optional[Iterable[InjectedError]] = None):
+        self._by_cell: dict[Cell, InjectedError] = {}
+        if errors is not None:
+            for error in errors:
+                self.add(error)
+
+    def add(self, error: InjectedError) -> None:
+        """Record one injected error (one record per cell)."""
+        if error.cell in self._by_cell:
+            raise ValueError(f"cell {error.cell} already has an injected error")
+        self._by_cell[error.cell] = error
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> list[InjectedError]:
+        return list(self._by_cell.values())
+
+    @property
+    def dirty_cells(self) -> set[Cell]:
+        """All cells that were corrupted."""
+        return set(self._by_cell)
+
+    def is_dirty(self, cell: Cell) -> bool:
+        return cell in self._by_cell
+
+    def clean_value(self, cell: Cell) -> str:
+        """The correct value of a corrupted cell."""
+        return self._by_cell[cell].clean_value
+
+    def error(self, cell: Cell) -> InjectedError:
+        return self._by_cell[cell]
+
+    def errors_of_type(self, error_type: ErrorType) -> list[InjectedError]:
+        return [e for e in self._by_cell.values() if e.error_type is error_type]
+
+    def __len__(self) -> int:
+        return len(self._by_cell)
+
+    def __iter__(self) -> Iterator[InjectedError]:
+        return iter(self._by_cell.values())
+
+    def __contains__(self, cell: object) -> bool:
+        return cell in self._by_cell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroundTruth({len(self)} injected errors)"
+
+    # ------------------------------------------------------------------
+    # derived artefacts
+    # ------------------------------------------------------------------
+    def clean_table(self, dirty: Table) -> Table:
+        """Reconstruct the clean table by undoing every injected error."""
+        restored = dirty.copy(name=f"{dirty.name}-restored")
+        for error in self._by_cell.values():
+            if restored.has_tid(error.cell.tid):
+                restored.set_cell(error.cell, error.clean_value)
+        return restored
+
+    def error_rate(self, table: Table) -> float:
+        """Injected errors over total attribute values of ``table``."""
+        if table.cell_count == 0:
+            return 0.0
+        return len(self._by_cell) / table.cell_count
+
+    def type_counts(self) -> dict[ErrorType, int]:
+        """Number of injected errors per error type."""
+        counts = {error_type: 0 for error_type in ErrorType}
+        for error in self._by_cell.values():
+            counts[error.error_type] += 1
+        return counts
+
+    def merge(self, other: "GroundTruth") -> "GroundTruth":
+        """Combine two ledgers over disjoint cells."""
+        merged = GroundTruth(self._by_cell.values())
+        for error in other:
+            merged.add(error)
+        return merged

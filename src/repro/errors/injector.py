@@ -1,0 +1,162 @@
+"""Synthetic error injection.
+
+Reproduces the error model of Section 7.1 of the paper:
+
+* the error rate is the fraction of erroneous attribute values over all
+  attribute values of the table (5 % by default, up to 30 % in the sweeps),
+* errors are injected only on attributes involved in the integrity
+  constraints,
+* a *typo* deletes one randomly chosen character of the value,
+* a *replacement error* swaps the value for a different value drawn from the
+  same attribute domain,
+* the error type ratio ``Rret`` controls the fraction of replacement errors
+  (0.5 by default: "a half fraction of typos and another half fraction of
+  replacement errors").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.rules import Rule
+from repro.dataset.table import Cell, Table
+from repro.errors.groundtruth import ErrorType, GroundTruth, InjectedError
+
+
+@dataclass
+class ErrorSpec:
+    """Configuration of one injection run."""
+
+    #: fraction of dirty attribute values over all attribute values
+    error_rate: float = 0.05
+    #: fraction of replacement errors among injected errors (Rret)
+    replacement_ratio: float = 0.5
+    #: attributes eligible for corruption; ``None`` means "derive from rules"
+    attributes: Optional[Sequence[str]] = None
+    #: random seed for reproducibility
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be within [0, 1]")
+        if not 0.0 <= self.replacement_ratio <= 1.0:
+            raise ValueError("replacement_ratio must be within [0, 1]")
+
+
+@dataclass
+class InjectionResult:
+    """The outcome of an injection: the dirty table plus the ledger."""
+
+    dirty: Table
+    ground_truth: GroundTruth
+    spec: ErrorSpec
+    target_attributes: list[str] = field(default_factory=list)
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.ground_truth)
+
+    @property
+    def achieved_error_rate(self) -> float:
+        return self.ground_truth.error_rate(self.dirty)
+
+
+class ErrorInjector:
+    """Injects typos and replacement errors into a clean table."""
+
+    def __init__(self, spec: Optional[ErrorSpec] = None):
+        self.spec = spec or ErrorSpec()
+
+    def inject(
+        self, clean: Table, rules: Optional[Sequence[Rule]] = None
+    ) -> InjectionResult:
+        """Corrupt a copy of ``clean`` and return it with its ground truth.
+
+        When ``rules`` is given the corrupted attributes are restricted to
+        those appearing in some rule, matching the paper's setup ("we add
+        errors ... on attributes related to integrity constraints"); otherwise
+        the attributes from the spec (or all attributes) are used.
+        """
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        target_attributes = self._target_attributes(clean, rules)
+        dirty = clean.copy(name=f"{clean.name}-dirty")
+        domains = {a: clean.domain(a) for a in target_attributes}
+
+        eligible_cells = [
+            Cell(tid, attribute)
+            for tid in clean.tids
+            for attribute in target_attributes
+        ]
+        target_count = round(spec.error_rate * clean.cell_count)
+        target_count = min(target_count, len(eligible_cells))
+        chosen = rng.sample(eligible_cells, target_count) if target_count else []
+
+        replacement_count = round(spec.replacement_ratio * len(chosen))
+        ground_truth = GroundTruth()
+        for index, cell in enumerate(chosen):
+            clean_value = dirty.cell_value(cell)
+            wants_replacement = index < replacement_count
+            if wants_replacement:
+                dirty_value, error_type = self._replace(
+                    clean_value, domains[cell.attribute], rng
+                )
+            else:
+                dirty_value, error_type = self._typo(clean_value, rng)
+            if dirty_value == clean_value:
+                # The value could not be corrupted (e.g. single-value domain
+                # and a one-character string); skip it rather than record a
+                # phantom error.
+                continue
+            dirty.set_cell(cell, dirty_value)
+            ground_truth.add(
+                InjectedError(cell, clean_value, dirty_value, error_type)
+            )
+        return InjectionResult(dirty, ground_truth, spec, target_attributes)
+
+    # ------------------------------------------------------------------
+    # corruption primitives
+    # ------------------------------------------------------------------
+    def _typo(self, value: str, rng: random.Random) -> tuple[str, ErrorType]:
+        """Delete one random character ("we randomly delete any letter")."""
+        if len(value) <= 1:
+            # Deleting the only character would produce an empty value that the
+            # string metrics cannot distinguish from a missing value; fall back
+            # to appending a character instead so the cell is still corrupted.
+            return value + "x", ErrorType.TYPO
+        position = rng.randrange(len(value))
+        return value[:position] + value[position + 1 :], ErrorType.TYPO
+
+    def _replace(
+        self, value: str, domain, rng: random.Random
+    ) -> tuple[str, ErrorType]:
+        """Swap the value for a different value of the same domain."""
+        try:
+            replacement = domain.sample(rng, exclude=value)
+        except ValueError:
+            # Single-value domain: fall back to a typo so the target error rate
+            # is still met.
+            return self._typo(value, rng)
+        return replacement, ErrorType.REPLACEMENT
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _target_attributes(
+        self, table: Table, rules: Optional[Sequence[Rule]]
+    ) -> list[str]:
+        if self.spec.attributes is not None:
+            attributes = list(self.spec.attributes)
+        elif rules:
+            attributes = []
+            for rule in rules:
+                for attribute in rule.attributes:
+                    if attribute not in attributes:
+                        attributes.append(attribute)
+        else:
+            attributes = table.schema.attributes
+        table.schema.validate_attributes(attributes)
+        return attributes

@@ -1,0 +1,93 @@
+"""Experiment harnesses: one entry per figure/table of the paper's Section 7.
+
+Every harness function returns an :class:`~repro.experiments.harness.ExperimentResult`
+whose rows are the series the corresponding figure plots (or the cells of the
+corresponding table).  The benchmarks under ``benchmarks/`` call these
+functions with scaled-down workload sizes and print the resulting tables; the
+examples call them with the defaults.
+
+Registry keys follow the paper's numbering::
+
+    fig06  F1 and runtime vs error percentage (MLNClean vs HoloClean)
+    fig07  F1 vs error type ratio Rret
+    fig08  AGP precision/recall/#dag vs threshold τ
+    fig09  RSC precision/recall vs τ
+    fig10  FSCR precision/recall vs τ
+    fig11  MLNClean F1 and runtime vs τ
+    fig12  AGP accuracy vs error percentage
+    fig13  RSC accuracy vs error percentage
+    fig14  FSCR accuracy vs error percentage
+    fig15  distributed MLNClean vs error percentage
+    table05  F1 under different distance metrics
+    table06  distributed runtime vs number of workers
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    SystemRun,
+    run_holoclean,
+    run_mlnclean,
+    prepare_instance,
+)
+from repro.experiments.comparison import fig06_error_percentage, fig07_error_type_ratio
+from repro.experiments.threshold import (
+    fig08_agp_threshold,
+    fig09_rsc_threshold,
+    fig10_fscr_threshold,
+    fig11_overall_threshold,
+)
+from repro.experiments.error_rate import (
+    fig12_agp_error_rate,
+    fig13_rsc_error_rate,
+    fig14_fscr_error_rate,
+)
+from repro.experiments.distributed import fig15_distributed, table06_worker_scaling
+from repro.experiments.distance import table05_distance_metrics
+from repro.experiments.ablation import (
+    ablation_fscr_minimality,
+    ablation_partitioner,
+    ablation_reliability_score,
+)
+
+#: experiment id -> harness callable (all accept ``tuples`` and ``seed``)
+EXPERIMENTS = {
+    "fig06": fig06_error_percentage,
+    "fig07": fig07_error_type_ratio,
+    "fig08": fig08_agp_threshold,
+    "fig09": fig09_rsc_threshold,
+    "fig10": fig10_fscr_threshold,
+    "fig11": fig11_overall_threshold,
+    "fig12": fig12_agp_error_rate,
+    "fig13": fig13_rsc_error_rate,
+    "fig14": fig14_fscr_error_rate,
+    "fig15": fig15_distributed,
+    "table05": table05_distance_metrics,
+    "table06": table06_worker_scaling,
+    "ablation_rscore": ablation_reliability_score,
+    "ablation_fscr": ablation_fscr_minimality,
+    "ablation_partition": ablation_partitioner,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "SystemRun",
+    "prepare_instance",
+    "run_mlnclean",
+    "run_holoclean",
+    "fig06_error_percentage",
+    "fig07_error_type_ratio",
+    "fig08_agp_threshold",
+    "fig09_rsc_threshold",
+    "fig10_fscr_threshold",
+    "fig11_overall_threshold",
+    "fig12_agp_error_rate",
+    "fig13_rsc_error_rate",
+    "fig14_fscr_error_rate",
+    "fig15_distributed",
+    "table05_distance_metrics",
+    "table06_worker_scaling",
+    "ablation_reliability_score",
+    "ablation_fscr_minimality",
+    "ablation_partitioner",
+]

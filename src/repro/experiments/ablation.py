@@ -1,0 +1,202 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+These go beyond the paper's own evaluation:
+
+* :func:`ablation_reliability_score` — what happens when the reliability
+  score drops its distance factor (weight-only) or its weight factor
+  (distance-only, i.e. pure minimality),
+* :func:`ablation_fscr_minimality` — the fusion score with and without the
+  minimality factor this reproduction adds (and with FSCR disabled entirely,
+  i.e. Stage I only),
+* :func:`ablation_partitioner` — Algorithm-3 partitioning vs naive
+  round-robin partitioning for the distributed runner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import MLNCleanConfig
+from repro.core.index import MLNIndex
+from repro.core.agp import AbnormalGroupProcessor
+from repro.core.rsc import ReliabilityScoreCleaner
+from repro.distributed.driver import DistributedMLNClean
+from repro.distributed.partition import DataPartitioner, hash_partition
+from repro.experiments.harness import ExperimentResult, prepare_instance, run_mlnclean
+from repro.metrics.accuracy import evaluate_repair
+
+
+def ablation_fscr_minimality(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fusion score with / without the minimality factor."""
+    result = ExperimentResult(
+        experiment="ablation_fscr",
+        description="FSCR minimality factor ablation",
+    )
+    for dataset in datasets:
+        instance = prepare_instance(
+            dataset, tuples=tuples, error_rate=error_rate, seed=seed
+        )
+        base = MLNCleanConfig.for_dataset(dataset)
+        variants = {
+            "weights_and_minimality": base,
+            "weights_only (Eq.5)": replace(base, fscr_minimality_bias=0.0),
+        }
+        for label, config in variants.items():
+            run = run_mlnclean(instance, config=config)
+            result.add(
+                {
+                    "dataset": dataset,
+                    "variant": label,
+                    "f1": round(run.f1, 4),
+                    "precision": round(run.precision, 4),
+                    "recall": round(run.recall, 4),
+                }
+            )
+    return result
+
+
+def ablation_reliability_score(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Reliability score vs its two degenerate forms, measured on Stage I.
+
+    The full pipeline is kept identical except for how the winning γ of each
+    group is chosen: by the full r-score, by weight alone (pure statistics) or
+    by support×distance alone (pure minimality).  The reported figures are the
+    Stage-I RSC precision/recall.
+    """
+    result = ExperimentResult(
+        experiment="ablation_rscore",
+        description="reliability-score factor ablation (RSC precision/recall)",
+    )
+    for dataset in datasets:
+        instance = prepare_instance(
+            dataset, tuples=tuples, error_rate=error_rate, seed=seed
+        )
+        config = MLNCleanConfig.for_dataset(dataset)
+        clean_reference = instance.ground_truth.clean_table(instance.dirty)
+        lookup = clean_reference.row  # used via .as_dict below
+
+        for variant in ("full", "weight_only", "distance_only"):
+            index = MLNIndex.build(instance.dirty, instance.rules)
+            AbnormalGroupProcessor(config).process_index(index.block_list)
+            cleaner = _variant_cleaner(config, variant)
+            outcome = cleaner.clean_index(
+                index.block_list, lambda tid: lookup(tid).as_dict()
+            )
+            counts = outcome.counts
+            precision = (
+                counts.correctly_repaired_gammas / counts.repaired_gammas
+                if counts.repaired_gammas
+                else 1.0
+            )
+            recall = (
+                counts.correctly_repaired_gammas / counts.erroneous_gammas
+                if counts.erroneous_gammas
+                else 1.0
+            )
+            result.add(
+                {
+                    "dataset": dataset,
+                    "variant": variant,
+                    "precision_r": round(precision, 4),
+                    "recall_r": round(recall, 4),
+                }
+            )
+    return result
+
+
+def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCleaner:
+    """A cleaner whose reliability score ignores one of its two factors."""
+    cleaner = ReliabilityScoreCleaner(config)
+    if variant == "full":
+        return cleaner
+    original_scores = cleaner.reliability_scores
+
+    if variant == "weight_only":
+
+        def weight_only(group):
+            return {piece: float(piece.weight) for piece in group.gammas}
+
+        cleaner.reliability_scores = weight_only  # type: ignore[method-assign]
+    elif variant == "distance_only":
+        metric = config.metric()
+
+        def distance_only(group):
+            gammas = group.gammas
+            if len(gammas) < 2:
+                return {piece: 1.0 for piece in gammas}
+            return {
+                piece: piece.support
+                * min(
+                    metric.values_distance(piece.values, other.values)
+                    for other in gammas
+                    if other is not piece
+                )
+                for piece in gammas
+            }
+
+        cleaner.reliability_scores = distance_only  # type: ignore[method-assign]
+    else:
+        raise ValueError(f"unknown reliability-score variant {variant!r}")
+    del original_scores
+    return cleaner
+
+
+def ablation_partitioner(
+    dataset: str = "tpch",
+    workers: int = 4,
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Algorithm-3 partitioning vs round-robin partitioning."""
+    result = ExperimentResult(
+        experiment="ablation_partition",
+        description="distributed partitioning strategy ablation",
+    )
+    instance = prepare_instance(dataset, tuples=tuples, error_rate=error_rate, seed=seed)
+    config = MLNCleanConfig.for_dataset(dataset)
+
+    algorithm3 = DistributedMLNClean(workers=workers, config=config)
+    report = algorithm3.clean(instance.dirty, instance.rules, instance.ground_truth)
+    result.add(
+        {
+            "dataset": dataset,
+            "partitioner": "algorithm3",
+            "workers": workers,
+            "f1": round(report.f1, 4),
+            "runtime_s": round(report.runtime, 4),
+        }
+    )
+
+    class _RoundRobinPartitioner(DataPartitioner):
+        def partition(self, table):  # type: ignore[override]
+            return hash_partition(table, self.parts)
+
+    round_robin = DistributedMLNClean(
+        workers=workers,
+        config=config,
+        partitioner=_RoundRobinPartitioner(parts=workers),
+    )
+    report = round_robin.clean(instance.dirty, instance.rules, instance.ground_truth)
+    result.add(
+        {
+            "dataset": dataset,
+            "partitioner": "round_robin",
+            "workers": workers,
+            "f1": round(report.f1, 4),
+            "runtime_s": round(report.runtime, 4),
+        }
+    )
+    return result

@@ -1,0 +1,81 @@
+"""Figures 6 and 7: MLNClean vs HoloClean.
+
+* **Figure 6** varies the error percentage from 5 % to 30 % on CAR and HAI and
+  reports F1 (panels a/b) and runtime (panels c/d) for both systems.
+* **Figure 7** fixes the total error rate at 5 % and varies the error type
+  ratio ``Rret`` — the fraction of replacement errors — from 0 (all typos) to
+  100 % (all replacements).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_error_rates,
+    prepare_instance,
+    run_holoclean,
+    run_mlnclean,
+)
+
+
+def fig06_error_percentage(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rates: Optional[Sequence[float]] = None,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+    include_holoclean: bool = True,
+) -> ExperimentResult:
+    """F1 and runtime vs error percentage for MLNClean and HoloClean."""
+    rates = error_rates if error_rates is not None else default_error_rates()
+    result = ExperimentResult(
+        experiment="fig06",
+        description="F1 / runtime vs error percentage (MLNClean vs HoloClean)",
+    )
+    for dataset in datasets:
+        for rate in rates:
+            instance = prepare_instance(
+                dataset, tuples=tuples, error_rate=rate, seed=seed
+            )
+            runs = [run_mlnclean(instance)]
+            if include_holoclean:
+                runs.append(run_holoclean(instance))
+            for run in runs:
+                row = run.as_row()
+                row["error_rate"] = rate
+                result.add(row)
+    return result
+
+
+def fig07_error_type_ratio(
+    datasets: Sequence[str] = ("car", "hai"),
+    ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+    include_holoclean: bool = True,
+) -> ExperimentResult:
+    """F1 vs the proportion of replacement errors (Rret) at a fixed 5 % rate."""
+    result = ExperimentResult(
+        experiment="fig07",
+        description="F1 vs error type ratio Rret (MLNClean vs HoloClean)",
+    )
+    for dataset in datasets:
+        for ratio in ratios:
+            instance = prepare_instance(
+                dataset,
+                tuples=tuples,
+                error_rate=error_rate,
+                replacement_ratio=ratio,
+                seed=seed,
+            )
+            runs = [run_mlnclean(instance)]
+            if include_holoclean:
+                runs.append(run_holoclean(instance))
+            for run in runs:
+                row = run.as_row()
+                row["replacement_ratio"] = ratio
+                result.add(row)
+    return result

@@ -1,0 +1,95 @@
+"""Figure 15 and Table 6: the distributed MLNClean experiments.
+
+* **Figure 15** runs distributed MLNClean on HAI and TPC-H while varying the
+  error percentage, reporting F1 and runtime.
+* **Table 6** fixes the workload (TPC-H, 5 % errors) and varies the number of
+  workers from 2 to 10, reporting the runtime; the paper observes roughly a
+  6.7× speedup from 2 to 10 workers.
+
+Workers are simulated in-process (see :mod:`repro.distributed`), so runtimes
+are the simulated parallel makespan; the sequential runtime is included so
+speedups can be derived.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.core.config import MLNCleanConfig
+from repro.distributed.driver import DistributedMLNClean
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_error_rates,
+    prepare_instance,
+)
+
+
+def fig15_distributed(
+    datasets: Sequence[str] = ("hai", "tpch"),
+    error_rates: Optional[Sequence[float]] = None,
+    workers: int = 4,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Distributed F1 and runtime vs error percentage (Figure 15)."""
+    rates = error_rates if error_rates is not None else default_error_rates()
+    result = ExperimentResult(
+        experiment="fig15",
+        description=f"distributed MLNClean ({workers} workers) vs error percentage",
+    )
+    for dataset in datasets:
+        config = MLNCleanConfig.for_dataset(dataset)
+        for rate in rates:
+            instance = prepare_instance(
+                dataset, tuples=tuples, error_rate=rate, seed=seed
+            )
+            driver = DistributedMLNClean(workers=workers, config=config)
+            report = driver.clean(instance.dirty, instance.rules, instance.ground_truth)
+            result.add(
+                {
+                    "dataset": dataset,
+                    "error_rate": rate,
+                    "workers": workers,
+                    "f1": round(report.f1, 4),
+                    "runtime_s": round(report.runtime, 4),
+                    "sequential_s": round(report.sequential_runtime, 4),
+                    "speedup": round(report.speedup, 3),
+                }
+            )
+    return result
+
+
+def table06_worker_scaling(
+    dataset: str = "tpch",
+    worker_counts: Sequence[int] = (2, 4, 6, 8, 10),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Distributed runtime vs number of workers (Table 6)."""
+    result = ExperimentResult(
+        experiment="table06",
+        description="distributed MLNClean runtime vs number of workers",
+    )
+    instance = prepare_instance(dataset, tuples=tuples, error_rate=error_rate, seed=seed)
+    config = MLNCleanConfig.for_dataset(dataset)
+    baseline_runtime: Optional[float] = None
+    for workers in worker_counts:
+        driver = DistributedMLNClean(workers=workers, config=config)
+        report = driver.clean(instance.dirty, instance.rules, instance.ground_truth)
+        if baseline_runtime is None:
+            baseline_runtime = report.runtime
+        result.add(
+            {
+                "dataset": dataset,
+                "workers": workers,
+                "runtime_s": round(report.runtime, 4),
+                "sequential_s": round(report.sequential_runtime, 4),
+                "f1": round(report.f1, 4),
+                "speedup_vs_first": round(
+                    baseline_runtime / report.runtime if report.runtime else 1.0, 3
+                ),
+            }
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Figures 12-14: component accuracy vs the error percentage.
+
+With τ fixed at its per-dataset optimum, the paper sweeps the error rate from
+5 % to 30 % and reports the precision/recall of AGP (Figure 12), RSC
+(Figure 13) and FSCR (Figure 14).  As in :mod:`repro.experiments.threshold`,
+the three figures share one instrumented sweep.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_error_rates,
+    prepare_instance,
+    run_mlnclean,
+)
+
+
+def error_rate_sweep(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rates: Optional[Sequence[float]] = None,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Instrumented MLNClean runs over the error-rate grid."""
+    rates = error_rates if error_rates is not None else default_error_rates()
+    result = ExperimentResult(
+        experiment="error_rate_sweep",
+        description="MLNClean component metrics vs error percentage",
+    )
+    for dataset in datasets:
+        for rate in rates:
+            instance = prepare_instance(
+                dataset, tuples=tuples, error_rate=rate, seed=seed
+            )
+            run = run_mlnclean(instance)
+            row = run.as_row()
+            row["error_rate"] = rate
+            result.add(row)
+    return result
+
+
+def _project(
+    sweep: ExperimentResult, experiment: str, description: str, columns: Sequence[str]
+) -> ExperimentResult:
+    projected = ExperimentResult(experiment=experiment, description=description)
+    keep = ["dataset", "error_rate", *columns]
+    for row in sweep.rows:
+        projected.add({key: row[key] for key in keep if key in row})
+    return projected
+
+
+def fig12_agp_error_rate(**kwargs) -> ExperimentResult:
+    """AGP Precision-A / Recall-A / #dag vs error percentage (Figure 12)."""
+    sweep = error_rate_sweep(**kwargs)
+    return _project(
+        sweep,
+        "fig12",
+        "AGP precision/recall and #dag vs error percentage",
+        ["precision_a", "recall_a", "dag"],
+    )
+
+
+def fig13_rsc_error_rate(**kwargs) -> ExperimentResult:
+    """RSC Precision-R / Recall-R vs error percentage (Figure 13)."""
+    sweep = error_rate_sweep(**kwargs)
+    return _project(
+        sweep,
+        "fig13",
+        "RSC precision/recall vs error percentage",
+        ["precision_r", "recall_r"],
+    )
+
+
+def fig14_fscr_error_rate(**kwargs) -> ExperimentResult:
+    """FSCR Precision-F / Recall-F vs error percentage (Figure 14)."""
+    sweep = error_rate_sweep(**kwargs)
+    return _project(
+        sweep,
+        "fig14",
+        "FSCR precision/recall vs error percentage",
+        ["precision_f", "recall_f"],
+    )

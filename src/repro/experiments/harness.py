@@ -1,0 +1,195 @@
+"""Shared machinery of the experiment harnesses.
+
+The harness keeps every run reproducible (explicit seeds), caches generated
+workloads so a sweep over error rates does not regenerate the clean table on
+every step, and renders results as fixed-width text tables — the same rows
+the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.holoclean import HoloCleanBaseline, HoloCleanConfig
+from repro.core.config import MLNCleanConfig
+from repro.core.pipeline import MLNClean
+from repro.errors.injector import ErrorSpec
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.registry import get_workload_generator
+
+#: default scaled-down workload sizes used when the caller does not override
+#: them; the paper's datasets are orders of magnitude larger, but the shapes
+#: of the curves only need enough tuples for stable statistics.
+DEFAULT_TUPLES = {"car": 1200, "hai": 1600, "tpch": 1800}
+
+
+@dataclass
+class SystemRun:
+    """One (system, configuration) measurement."""
+
+    dataset: str
+    system: str
+    f1: float
+    precision: float
+    recall: float
+    runtime_seconds: float
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "dataset": self.dataset,
+            "system": self.system,
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "runtime_s": round(self.runtime_seconds, 4),
+        }
+        row.update({key: round(value, 4) for key, value in self.extras.items()})
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one figure/table plus a plain-text rendering."""
+
+    experiment: str
+    description: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def add(self, row: dict[str, object]) -> None:
+        self.rows.append(row)
+
+    def columns(self) -> list[str]:
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def render(self) -> str:
+        """A fixed-width table with one line per row (the figure's series)."""
+        columns = self.columns()
+        if not columns:
+            return f"{self.experiment}: no rows"
+        cells = [[str(row.get(column, "")) for column in columns] for row in self.rows]
+        widths = [
+            max(len(columns[i]), *(len(row[i]) for row in cells)) if cells else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [
+            f"# {self.experiment}: {self.description}",
+            "  ".join(columns[i].ljust(widths[i]) for i in range(len(columns))),
+            "  ".join("-" * widths[i] for i in range(len(columns))),
+        ]
+        lines.extend(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in cells
+        )
+        return "\n".join(lines)
+
+    def series(self, key: str) -> list[object]:
+        """The values of one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# workload caching
+# ----------------------------------------------------------------------
+_WORKLOAD_CACHE: dict[tuple[str, int, int], Workload] = {}
+
+
+def load_workload(dataset: str, tuples: Optional[int] = None, seed: int = 7) -> Workload:
+    """A (cached) clean workload of the requested dataset and size."""
+    size = tuples if tuples is not None else DEFAULT_TUPLES.get(dataset.lower(), 1500)
+    key = (dataset.lower(), size, seed)
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = get_workload_generator(dataset, tuples=size, seed=seed).build()
+    return _WORKLOAD_CACHE[key]
+
+
+def prepare_instance(
+    dataset: str,
+    tuples: Optional[int] = None,
+    error_rate: float = 0.05,
+    replacement_ratio: float = 0.5,
+    seed: int = 7,
+    error_seed: int = 42,
+) -> WorkloadInstance:
+    """A dirty instance of ``dataset`` with the requested error profile."""
+    workload = load_workload(dataset, tuples, seed)
+    spec = ErrorSpec(
+        error_rate=error_rate, replacement_ratio=replacement_ratio, seed=error_seed
+    )
+    return workload.make_instance(spec)
+
+
+# ----------------------------------------------------------------------
+# system runners
+# ----------------------------------------------------------------------
+def run_mlnclean(
+    instance: WorkloadInstance,
+    threshold: Optional[int] = None,
+    config: Optional[MLNCleanConfig] = None,
+) -> SystemRun:
+    """Run MLNClean on an instance and collect the headline metrics."""
+    if config is None:
+        workload_threshold = (
+            threshold
+            if threshold is not None
+            else MLNCleanConfig.for_dataset(instance.name).abnormal_threshold
+        )
+        config = MLNCleanConfig(abnormal_threshold=workload_threshold)
+    elif threshold is not None:
+        config = config.with_threshold(threshold)
+    cleaner = MLNClean(config)
+    started = time.perf_counter()
+    report = cleaner.clean(instance.dirty, instance.rules, instance.ground_truth)
+    elapsed = time.perf_counter() - started
+    component = report.component_accuracy
+    extras = component.as_dict()
+    extras["duplicates_removed"] = float(
+        report.dedup.removed_count if report.dedup is not None else 0
+    )
+    return SystemRun(
+        dataset=instance.name,
+        system="MLNClean",
+        f1=report.accuracy.f1 if report.accuracy else 0.0,
+        precision=report.accuracy.precision if report.accuracy else 0.0,
+        recall=report.accuracy.recall if report.accuracy else 0.0,
+        runtime_seconds=elapsed,
+        extras=extras,
+    )
+
+
+def run_holoclean(
+    instance: WorkloadInstance, config: Optional[HoloCleanConfig] = None
+) -> SystemRun:
+    """Run the HoloClean baseline (perfect detection, as in the paper)."""
+    baseline = HoloCleanBaseline(config)
+    started = time.perf_counter()
+    report = baseline.clean(instance.dirty, instance.rules, instance.ground_truth)
+    elapsed = time.perf_counter() - started
+    return SystemRun(
+        dataset=instance.name,
+        system="HoloClean",
+        f1=report.accuracy.f1 if report.accuracy else 0.0,
+        precision=report.accuracy.precision if report.accuracy else 0.0,
+        recall=report.accuracy.recall if report.accuracy else 0.0,
+        runtime_seconds=elapsed,
+        extras={"detected_cells": float(len(report.detected_cells))},
+    )
+
+
+def default_error_rates() -> Sequence[float]:
+    """The error percentages of the paper's sweeps (5 % ... 30 %)."""
+    return (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+
+
+def default_thresholds(dataset: str) -> Sequence[int]:
+    """The τ sweep used for a dataset (CAR 0-5, HAI/TPC-H 0-50)."""
+    if dataset.lower() == "car":
+        return (0, 1, 2, 3, 4, 5)
+    return (0, 10, 20, 30, 40, 50)

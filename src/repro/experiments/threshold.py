@@ -1,0 +1,101 @@
+"""Figures 8-11: the effect of the AGP threshold τ.
+
+The paper sweeps τ (0-5 on CAR, 0-50 on HAI) and reports, per value:
+
+* Figure 8 — AGP Precision-A, Recall-A and the number of detected abnormal
+  data pieces (#dag),
+* Figure 9 — RSC Precision-R and Recall-R,
+* Figure 10 — FSCR Precision-F and Recall-F,
+* Figure 11 — the overall F1 and runtime of MLNClean.
+
+All four figures come from the same instrumented runs, so the shared sweep
+lives in :func:`threshold_sweep` and the per-figure functions project the
+columns the corresponding figure plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_thresholds,
+    prepare_instance,
+    run_mlnclean,
+)
+
+
+def threshold_sweep(
+    datasets: Sequence[str] = ("car", "hai"),
+    thresholds: Optional[dict[str, Sequence[int]]] = None,
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Instrumented MLNClean runs over the τ grid of every dataset."""
+    result = ExperimentResult(
+        experiment="threshold_sweep",
+        description="MLNClean component metrics vs AGP threshold",
+    )
+    for dataset in datasets:
+        grid = (
+            thresholds[dataset]
+            if thresholds is not None and dataset in thresholds
+            else default_thresholds(dataset)
+        )
+        instance = prepare_instance(
+            dataset, tuples=tuples, error_rate=error_rate, seed=seed
+        )
+        for threshold in grid:
+            run = run_mlnclean(instance, threshold=threshold)
+            row = run.as_row()
+            row["threshold"] = threshold
+            result.add(row)
+    return result
+
+
+def _project(
+    sweep: ExperimentResult, experiment: str, description: str, columns: Sequence[str]
+) -> ExperimentResult:
+    """Keep only the columns a specific figure plots."""
+    projected = ExperimentResult(experiment=experiment, description=description)
+    keep = ["dataset", "threshold", *columns]
+    for row in sweep.rows:
+        projected.add({key: row[key] for key in keep if key in row})
+    return projected
+
+
+def fig08_agp_threshold(**kwargs) -> ExperimentResult:
+    """AGP Precision-A / Recall-A / #dag vs τ (Figure 8)."""
+    sweep = threshold_sweep(**kwargs)
+    return _project(
+        sweep,
+        "fig08",
+        "AGP precision/recall and #dag vs threshold",
+        ["precision_a", "recall_a", "dag"],
+    )
+
+
+def fig09_rsc_threshold(**kwargs) -> ExperimentResult:
+    """RSC Precision-R / Recall-R vs τ (Figure 9)."""
+    sweep = threshold_sweep(**kwargs)
+    return _project(
+        sweep, "fig09", "RSC precision/recall vs threshold", ["precision_r", "recall_r"]
+    )
+
+
+def fig10_fscr_threshold(**kwargs) -> ExperimentResult:
+    """FSCR Precision-F / Recall-F vs τ (Figure 10)."""
+    sweep = threshold_sweep(**kwargs)
+    return _project(
+        sweep, "fig10", "FSCR precision/recall vs threshold", ["precision_f", "recall_f"]
+    )
+
+
+def fig11_overall_threshold(**kwargs) -> ExperimentResult:
+    """Overall MLNClean F1 and runtime vs τ (Figure 11)."""
+    sweep = threshold_sweep(**kwargs)
+    return _project(
+        sweep, "fig11", "MLNClean F1 and runtime vs threshold", ["f1", "runtime_s"]
+    )

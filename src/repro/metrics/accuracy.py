@@ -1,0 +1,125 @@
+"""Repair accuracy: precision, recall and F1 over cells (Eq. 7 of the paper).
+
+* ``precision`` — correctly repaired attribute values over all updated
+  attribute values,
+* ``recall`` — correctly repaired attribute values over all erroneous
+  attribute values,
+* ``f1`` — their harmonic mean.
+
+A repair of a cell is *correct* when the repaired value equals the
+ground-truth clean value of that cell.  Cells belonging to tuples that the
+cleaner removed (duplicate elimination) are evaluated on the tuples that
+remain; the ``removed_dirty_cells`` counter reports how many erroneous cells
+disappeared together with removed duplicates so callers can see the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.table import Cell, Table
+from repro.errors.groundtruth import GroundTruth
+
+
+@dataclass
+class RepairAccuracy:
+    """Cell-level repair accuracy counters and derived scores."""
+
+    #: cells whose value the cleaner changed
+    updated_cells: int = 0
+    #: changed cells whose new value equals the ground-truth clean value
+    correct_repairs: int = 0
+    #: injected errors present in the evaluated tuples
+    erroneous_cells: int = 0
+    #: injected errors that were still wrong after cleaning
+    missed_errors: int = 0
+    #: clean cells that the cleaner overwrote with a wrong value
+    false_updates: int = 0
+    #: injected errors whose tuples were removed by duplicate elimination
+    removed_dirty_cells: int = 0
+    #: the cells the cleaner changed, for drill-down reporting
+    changed_cells: list[Cell] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        """Correct repairs over all updates (1.0 when nothing was updated)."""
+        if self.updated_cells == 0:
+            return 1.0 if self.erroneous_cells == 0 else 0.0
+        return self.correct_repairs / self.updated_cells
+
+    @property
+    def recall(self) -> float:
+        """Correct repairs over all injected errors (1.0 when none exist)."""
+        if self.erroneous_cells == 0:
+            return 1.0
+        return self.correct_repairs / self.erroneous_cells
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (Eq. 7)."""
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict[str, float]:
+        """Scores and counters as a flat dictionary (for reports)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "updated_cells": float(self.updated_cells),
+            "correct_repairs": float(self.correct_repairs),
+            "erroneous_cells": float(self.erroneous_cells),
+            "missed_errors": float(self.missed_errors),
+            "false_updates": float(self.false_updates),
+            "removed_dirty_cells": float(self.removed_dirty_cells),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepairAccuracy(precision={self.precision:.3f}, "
+            f"recall={self.recall:.3f}, f1={self.f1:.3f})"
+        )
+
+
+def evaluate_repair(
+    dirty: Table, repaired: Table, ground_truth: GroundTruth
+) -> RepairAccuracy:
+    """Compare a repaired table against the dirty table and the ground truth.
+
+    Only tuples present in the repaired table are evaluated cell by cell;
+    injected errors whose tuple was removed (duplicate elimination) are
+    tallied in ``removed_dirty_cells``.
+    """
+    accuracy = RepairAccuracy()
+    surviving_tids = set(repaired.tids)
+    for error in ground_truth:
+        if error.cell.tid in surviving_tids:
+            accuracy.erroneous_cells += 1
+        else:
+            accuracy.removed_dirty_cells += 1
+
+    for tid in repaired.tids:
+        if not dirty.has_tid(tid):
+            continue
+        for attribute in dirty.schema:
+            cell = Cell(tid, attribute)
+            dirty_value = dirty.value(tid, attribute)
+            repaired_value = repaired.value(tid, attribute)
+            is_injected = ground_truth.is_dirty(cell)
+            clean_value = (
+                ground_truth.clean_value(cell) if is_injected else dirty_value
+            )
+            changed = repaired_value != dirty_value
+            if changed:
+                accuracy.updated_cells += 1
+                accuracy.changed_cells.append(cell)
+                if repaired_value == clean_value:
+                    accuracy.correct_repairs += 1
+                elif not is_injected:
+                    accuracy.false_updates += 1
+            if is_injected and repaired_value != clean_value:
+                accuracy.missed_errors += 1
+    return accuracy

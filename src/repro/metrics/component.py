@@ -1,0 +1,129 @@
+"""Per-component accuracy of the MLNClean stages (Section 7.3 of the paper).
+
+The paper defines dedicated metrics for the three components:
+
+* **AGP** — ``Precision-A`` is the fraction of correctly merged abnormal
+  groups over all detected abnormal groups, ``Recall-A`` the fraction of
+  correctly merged abnormal groups over all *real* abnormal groups, and
+  ``#dag`` the total number of data pieces inside detected abnormal groups.
+* **RSC** — ``Precision-R`` is the ratio of correctly repaired γs to all
+  repaired γs and ``Recall-R`` the ratio of correctly repaired γs to the γs
+  containing errors.
+* **FSCR** — ``Precision-F`` is the fraction of attribute values correctly
+  repaired by FSCR over the erroneous attribute values involved in detected
+  conflicts, and ``Recall-F`` the same numerator over all erroneous attribute
+  values.
+
+The pipeline fills a :class:`StageCounts` instance per stage when it runs in
+instrumented mode (a ground truth is supplied); :class:`ComponentAccuracy`
+derives the ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageCounts:
+    """Raw counters of one cleaning stage."""
+
+    #: AGP: groups detected as abnormal / actually abnormal / merged correctly
+    detected_abnormal_groups: int = 0
+    real_abnormal_groups: int = 0
+    correctly_merged_groups: int = 0
+    #: AGP: total γs inside detected abnormal groups (#dag in the figures)
+    detected_abnormal_gammas: int = 0
+    #: RSC: γs rewritten / rewritten to their clean values / containing errors
+    repaired_gammas: int = 0
+    correctly_repaired_gammas: int = 0
+    erroneous_gammas: int = 0
+    #: FSCR: erroneous cells correct after FSCR (recall numerator), erroneous
+    #: cells involved in detected conflicts, the correct ones among those
+    #: (precision numerator), and all erroneous cells on surviving tuples
+    fscr_correct_values: int = 0
+    conflict_erroneous_values: int = 0
+    conflict_correct_values: int = 0
+    total_erroneous_values: int = 0
+
+    def merge(self, other: "StageCounts") -> "StageCounts":
+        """Sum two counter sets (used by the distributed driver)."""
+        merged = StageCounts()
+        for name in vars(self):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+
+@dataclass
+class ComponentAccuracy:
+    """Derived per-stage precision/recall figures."""
+
+    counts: StageCounts = field(default_factory=StageCounts)
+
+    # ------------------------------------------------------------------
+    # AGP (Figures 8 and 12)
+    # ------------------------------------------------------------------
+    @property
+    def precision_a(self) -> float:
+        if self.counts.detected_abnormal_groups == 0:
+            return 0.0
+        return self.counts.correctly_merged_groups / self.counts.detected_abnormal_groups
+
+    @property
+    def recall_a(self) -> float:
+        if self.counts.real_abnormal_groups == 0:
+            return 1.0 if self.counts.detected_abnormal_groups == 0 else 0.0
+        return self.counts.correctly_merged_groups / self.counts.real_abnormal_groups
+
+    @property
+    def detected_abnormal_gammas(self) -> int:
+        """#dag: size of the detected abnormal groups in γs."""
+        return self.counts.detected_abnormal_gammas
+
+    # ------------------------------------------------------------------
+    # RSC (Figures 9 and 13)
+    # ------------------------------------------------------------------
+    @property
+    def precision_r(self) -> float:
+        if self.counts.repaired_gammas == 0:
+            return 1.0 if self.counts.erroneous_gammas == 0 else 0.0
+        return self.counts.correctly_repaired_gammas / self.counts.repaired_gammas
+
+    @property
+    def recall_r(self) -> float:
+        if self.counts.erroneous_gammas == 0:
+            return 1.0
+        return self.counts.correctly_repaired_gammas / self.counts.erroneous_gammas
+
+    # ------------------------------------------------------------------
+    # FSCR (Figures 10 and 14)
+    # ------------------------------------------------------------------
+    @property
+    def precision_f(self) -> float:
+        if self.counts.conflict_erroneous_values == 0:
+            # No erroneous cell was involved in a detected conflict: FSCR had
+            # nothing to decide, so it made no wrong decision.
+            return 1.0
+        return self.counts.conflict_correct_values / self.counts.conflict_erroneous_values
+
+    @property
+    def recall_f(self) -> float:
+        if self.counts.total_erroneous_values == 0:
+            return 1.0
+        return self.counts.fscr_correct_values / self.counts.total_erroneous_values
+
+    def as_dict(self) -> dict[str, float]:
+        """All derived metrics as a flat dictionary."""
+        return {
+            "precision_a": self.precision_a,
+            "recall_a": self.recall_a,
+            "dag": float(self.detected_abnormal_gammas),
+            "precision_r": self.precision_r,
+            "recall_r": self.recall_r,
+            "precision_f": self.precision_f,
+            "recall_f": self.recall_f,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        values = ", ".join(f"{k}={v:.3f}" for k, v in self.as_dict().items())
+        return f"ComponentAccuracy({values})"

@@ -1,0 +1,118 @@
+"""Ground atoms, literals and clauses of a Markov logic network.
+
+An MLN rule in the paper is a disjunction of literals, ``l1 ∨ l2 ∨ ... ∨ ln``,
+where each literal applies a predicate symbol to a constant or a variable
+(Section 3).  After grounding, every literal refers to a *ground atom* — a
+boolean random variable such as ``CT("DOTHAN")`` — and a clause is satisfied
+by a world (a truth assignment to the atoms) when at least one of its literals
+is true.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A ground atom: a predicate symbol applied to a constant value.
+
+    ``Atom("CT", "DOTHAN")`` renders as ``CT("DOTHAN")`` and is a boolean
+    random variable of the ground Markov network.
+    """
+
+    predicate: str
+    constant: str
+
+    def render(self) -> str:
+        return f'{self.predicate}("{self.constant}")'
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom or its negation."""
+
+    atom: Atom
+    negated: bool = False
+
+    def evaluate(self, world: Mapping[Atom, bool]) -> bool:
+        """Truth value of the literal under a world (missing atoms are False)."""
+        value = world.get(self.atom, False)
+        return (not value) if self.negated else value
+
+    def render(self) -> str:
+        prefix = "¬" if self.negated else ""
+        return f"{prefix}{self.atom.render()}"
+
+    def negate(self) -> "Literal":
+        return Literal(self.atom, not self.negated)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+
+class Clause:
+    """A weighted disjunction of literals.
+
+    Clauses are hashable on their literal set so that repeated groundings of
+    the same rule collapse naturally in dictionaries.
+    """
+
+    __slots__ = ("literals", "weight")
+
+    def __init__(self, literals: Iterable[Literal], weight: float = 0.0):
+        literal_list = tuple(literals)
+        if not literal_list:
+            raise ValueError("a clause needs at least one literal")
+        self.literals = literal_list
+        self.weight = float(weight)
+
+    @property
+    def atoms(self) -> list[Atom]:
+        """All distinct atoms referenced by the clause."""
+        seen: list[Atom] = []
+        for literal in self.literals:
+            if literal.atom not in seen:
+                seen.append(literal.atom)
+        return seen
+
+    def is_satisfied(self, world: Mapping[Atom, bool]) -> bool:
+        """True when at least one literal is true under ``world``."""
+        return any(literal.evaluate(world) for literal in self.literals)
+
+    def num_true_literals(self, world: Mapping[Atom, bool]) -> int:
+        return sum(1 for literal in self.literals if literal.evaluate(world))
+
+    def with_weight(self, weight: float) -> "Clause":
+        """A copy of the clause carrying a different weight."""
+        return Clause(self.literals, weight)
+
+    def render(self) -> str:
+        return " ∨ ".join(literal.render() for literal in self.literals)
+
+    def signature(self) -> tuple[tuple[str, str, bool], ...]:
+        """A hashable identity ignoring the weight."""
+        return tuple(
+            (l.atom.predicate, l.atom.constant, l.negated) for l in self.literals
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clause({self.render()!r}, weight={self.weight})"

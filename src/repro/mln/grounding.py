@@ -1,0 +1,133 @@
+"""Grounding: turning MLN rules into ground MLN clauses over a dataset.
+
+Grounding "replaces variables in the MLN rule with the corresponding
+constants (i.e., attribute values) in the dataset" (Section 3).  Table 3 of
+the paper shows the result for the FD ``CT ⇒ ST``: one ground clause
+``¬CT(v_ct) ∨ ST(v_st)`` per distinct (CT, ST) value combination observed in
+the data.  Each ground clause corresponds to exactly one *piece of data* (γ)
+of the MLN index, and its learned weight is the weight MLNClean attaches to
+that γ.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.constraints.rules import (
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+    Rule,
+)
+from repro.dataset.table import Table
+from repro.mln.formula import Atom, Clause, Literal
+
+
+@dataclass(eq=False)
+class GroundClause:
+    """One grounding of a rule: the clause plus the γ values it came from.
+
+    Instances hash and compare by identity (``eq=False``): two groundings with
+    the same values are still distinct objects tied to their own block, and
+    the weight learner keys dictionaries on them.
+
+    ``reason_values`` / ``result_values`` are the attribute values of the
+    reason and result parts (in the rule's attribute order); ``support``
+    counts how many tuples of the dataset produced this grounding, and
+    ``tids`` lists them.
+    """
+
+    rule: Rule
+    clause: Clause
+    reason_values: tuple[str, ...]
+    result_values: tuple[str, ...]
+    support: int = 0
+    tids: list[int] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Identity of the grounding inside its rule's block."""
+        return (self.reason_values, self.result_values)
+
+    def record_tuple(self, tid: int) -> None:
+        self.support += 1
+        self.tids.append(tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroundClause({self.rule.name}, reason={self.reason_values}, "
+            f"result={self.result_values}, support={self.support})"
+        )
+
+
+def ground_rule(rule: Rule, table: Table) -> list[GroundClause]:
+    """All distinct groundings of ``rule`` over ``table``.
+
+    Only tuples covered by the rule contribute (CFDs cover the tuples matching
+    at least one reason-part constant; FDs and DCs cover every tuple).
+    Groundings are deduplicated on their (reason, result) value combination
+    and accumulate tuple support, mirroring Table 3.
+    """
+    reason_attrs = rule.reason_attributes
+    result_attrs = rule.result_attributes
+    groundings: dict[tuple[tuple[str, ...], tuple[str, ...]], GroundClause] = {}
+    for row in table:
+        values = row.as_dict()
+        if not rule.covers(values):
+            continue
+        reason_values = tuple(values[a] for a in reason_attrs)
+        result_values = tuple(values[a] for a in result_attrs)
+        key = (reason_values, result_values)
+        grounding = groundings.get(key)
+        if grounding is None:
+            clause = _build_clause(rule, reason_attrs, result_attrs, reason_values, result_values)
+            grounding = GroundClause(rule, clause, reason_values, result_values)
+            groundings[key] = grounding
+        grounding.record_tuple(row.tid)
+    return list(groundings.values())
+
+
+def ground_rules(rules: Sequence[Rule], table: Table) -> dict[str, list[GroundClause]]:
+    """Groundings of every rule, keyed by rule name."""
+    return {rule.name: ground_rule(rule, table) for rule in rules}
+
+
+def _build_clause(
+    rule: Rule,
+    reason_attrs: Sequence[str],
+    result_attrs: Sequence[str],
+    reason_values: Sequence[str],
+    result_values: Sequence[str],
+) -> Clause:
+    """The clausal form of one grounding.
+
+    For implication rules the reason literals are negated and the result
+    literals are positive (``¬CT("DOTHAN") ∨ ST("AL")``); denial constraints
+    negate every predicate of the grounding.
+    """
+    literals: list[Literal] = []
+    if isinstance(rule, DenialConstraint):
+        for attribute, value in zip(reason_attrs, reason_values):
+            literals.append(Literal(Atom(attribute, value), negated=True))
+        for attribute, value in zip(result_attrs, result_values):
+            literals.append(Literal(Atom(attribute, value), negated=False))
+        return Clause(literals)
+    # FD / CFD: antecedent negated, consequent positive.
+    for attribute, value in zip(reason_attrs, reason_values):
+        literals.append(Literal(Atom(attribute, value), negated=True))
+    for attribute, value in zip(result_attrs, result_values):
+        literals.append(Literal(Atom(attribute, value), negated=False))
+    return Clause(literals)
+
+
+def grounding_statistics(groundings: Mapping[str, list[GroundClause]]) -> dict[str, dict[str, int]]:
+    """Per-rule counts of distinct groundings and total tuple support."""
+    stats: dict[str, dict[str, int]] = {}
+    for rule_name, clauses in groundings.items():
+        stats[rule_name] = {
+            "groundings": len(clauses),
+            "support": sum(clause.support for clause in clauses),
+            "groups": len({clause.reason_values for clause in clauses}),
+        }
+    return stats

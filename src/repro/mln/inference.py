@@ -1,0 +1,143 @@
+"""Marginal inference over ground Markov logic networks.
+
+MLNClean itself only needs learned weights, but the MLN substrate would be
+incomplete without inference: the probabilistic baseline uses marginals to
+rank repair candidates and the tests validate the weight learner against
+exact probabilities.  Two engines are provided:
+
+* :class:`ExactInference` — enumerates all worlds; exact but exponential, so
+  only usable for small ground networks (tests, worked examples).
+* :class:`GibbsSampler` — standard Gibbs sampling over the ground atoms with
+  a burn-in period; scales to the networks produced by the workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from repro.mln.formula import Atom
+from repro.mln.network import MarkovLogicNetwork
+
+
+class ExactInference:
+    """Exact marginal computation by enumeration of all worlds."""
+
+    def __init__(self, network: MarkovLogicNetwork, max_atoms: int = 20):
+        self.network = network
+        self.max_atoms = max_atoms
+
+    def marginals(
+        self, evidence: Optional[Mapping[Atom, bool]] = None
+    ) -> dict[Atom, float]:
+        """P(atom = True | evidence) for every non-evidence atom."""
+        evidence = dict(evidence or {})
+        atoms = [a for a in self.network.atoms if a not in evidence]
+        if len(atoms) > self.max_atoms:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(atoms)} worlds; use GibbsSampler"
+            )
+        log_weights: list[float] = []
+        assignments: list[dict[Atom, bool]] = []
+        for values in itertools.product([False, True], repeat=len(atoms)):
+            world = dict(zip(atoms, values))
+            world.update(evidence)
+            log_weights.append(self.network.world_score(world))
+            assignments.append(world)
+        log_z = _log_sum_exp(log_weights)
+        marginals = {atom: 0.0 for atom in atoms}
+        for log_weight, world in zip(log_weights, assignments):
+            probability = math.exp(log_weight - log_z)
+            for atom in atoms:
+                if world[atom]:
+                    marginals[atom] += probability
+        return marginals
+
+    def map_state(
+        self, evidence: Optional[Mapping[Atom, bool]] = None
+    ) -> dict[Atom, bool]:
+        """The most probable world consistent with the evidence."""
+        evidence = dict(evidence or {})
+        atoms = [a for a in self.network.atoms if a not in evidence]
+        if len(atoms) > self.max_atoms:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(atoms)} worlds; use GibbsSampler"
+            )
+        best_world: dict[Atom, bool] = dict(evidence)
+        best_score = float("-inf")
+        for values in itertools.product([False, True], repeat=len(atoms)):
+            world = dict(zip(atoms, values))
+            world.update(evidence)
+            score = self.network.world_score(world)
+            if score > best_score:
+                best_score = score
+                best_world = world
+        return best_world
+
+
+class GibbsSampler:
+    """Gibbs sampling marginal inference.
+
+    Atoms are resampled one at a time from their conditional distribution
+    given the rest of the world; after ``burn_in`` sweeps the fraction of
+    samples in which an atom is true estimates its marginal.
+    """
+
+    def __init__(
+        self,
+        network: MarkovLogicNetwork,
+        samples: int = 500,
+        burn_in: int = 100,
+        seed: int = 7,
+    ):
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        if burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        self.network = network
+        self.samples = samples
+        self.burn_in = burn_in
+        self.seed = seed
+
+    def marginals(
+        self, evidence: Optional[Mapping[Atom, bool]] = None
+    ) -> dict[Atom, float]:
+        """Estimated P(atom = True | evidence) for every non-evidence atom."""
+        rng = random.Random(self.seed)
+        evidence = dict(evidence or {})
+        atoms = [a for a in self.network.atoms if a not in evidence]
+        if not atoms:
+            return {}
+        world: dict[Atom, bool] = dict(evidence)
+        for atom in atoms:
+            world[atom] = rng.random() < 0.5
+        true_counts = {atom: 0 for atom in atoms}
+        blankets = {atom: self.network.clauses_for_atom(atom) for atom in atoms}
+        total_sweeps = self.burn_in + self.samples
+        for sweep in range(total_sweeps):
+            for atom in atoms:
+                log_odds = 0.0
+                for clause in blankets[atom]:
+                    world[atom] = True
+                    satisfied_true = clause.is_satisfied(world)
+                    world[atom] = False
+                    satisfied_false = clause.is_satisfied(world)
+                    log_odds += clause.weight * (satisfied_true - satisfied_false)
+                probability_true = 1.0 / (1.0 + math.exp(-log_odds))
+                world[atom] = rng.random() < probability_true
+            if sweep >= self.burn_in:
+                for atom in atoms:
+                    if world[atom]:
+                        true_counts[atom] += 1
+        return {atom: count / self.samples for atom, count in true_counts.items()}
+
+
+def _log_sum_exp(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return float("-inf")
+    peak = max(values)
+    return peak + math.log(sum(math.exp(v - peak) for v in values))

@@ -1,0 +1,109 @@
+"""The Markov logic network container and its world distribution.
+
+Definition 1 of the paper: an MLN ``L`` is a set of rule/weight pairs
+``(ri, wi)``.  Together with a set of constants it defines a ground Markov
+network whose world distribution is the log-linear model of Eq. 2:
+
+    Pr(x) = (1/Z) * exp( Σ_i  w_i * n_i(x) )
+
+where ``n_i(x)`` is the number of true groundings of rule ``i`` in world
+``x``.  This module implements that distribution exactly (by enumeration of
+worlds) for networks small enough to enumerate; the sampler in
+:mod:`repro.mln.inference` covers the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from repro.mln.formula import Atom, Clause
+
+
+class MarkovLogicNetwork:
+    """A weighted set of (ground) clauses over boolean atoms."""
+
+    def __init__(self, clauses: Optional[Iterable[Clause]] = None):
+        self._clauses: list[Clause] = []
+        if clauses is not None:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_clause(self, clause: Clause) -> None:
+        """Add one weighted clause."""
+        self._clauses.append(clause)
+
+    def add(self, clause: Clause, weight: float) -> None:
+        """Add a clause with an explicit weight."""
+        self._clauses.append(clause.with_weight(weight))
+
+    @property
+    def clauses(self) -> list[Clause]:
+        return list(self._clauses)
+
+    @property
+    def atoms(self) -> list[Atom]:
+        """All distinct atoms mentioned by any clause, in first-seen order."""
+        seen: dict[Atom, None] = {}
+        for clause in self._clauses:
+            for atom in clause.atoms:
+                seen.setdefault(atom, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkovLogicNetwork({len(self._clauses)} clauses, {len(self.atoms)} atoms)"
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def world_score(self, world: Mapping[Atom, bool]) -> float:
+        """The unnormalised log-score ``Σ_i w_i n_i(x)`` of a world."""
+        return sum(
+            clause.weight for clause in self._clauses if clause.is_satisfied(world)
+        )
+
+    def world_probability(self, world: Mapping[Atom, bool]) -> float:
+        """Exact Eq.-2 probability of a world (enumerates the state space)."""
+        log_z = self.log_partition_function()
+        return math.exp(self.world_score(world) - log_z)
+
+    def log_partition_function(self, max_atoms: int = 22) -> float:
+        """``log Z`` of Eq. 2 by explicit enumeration.
+
+        Only feasible for small ground networks; larger networks should use
+        sampling-based estimates instead.
+        """
+        atoms = self.atoms
+        if len(atoms) > max_atoms:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(atoms)} worlds; "
+                f"use GibbsSampler for networks this large"
+            )
+        scores = []
+        for assignment in itertools.product([False, True], repeat=len(atoms)):
+            world = dict(zip(atoms, assignment))
+            scores.append(self.world_score(world))
+        return _log_sum_exp(scores)
+
+    def clause_true_count(self, world: Mapping[Atom, bool]) -> int:
+        """Number of clauses satisfied by a world."""
+        return sum(1 for clause in self._clauses if clause.is_satisfied(world))
+
+    def clauses_for_atom(self, atom: Atom) -> list[Clause]:
+        """All clauses mentioning ``atom`` (the atom's Markov blanket)."""
+        return [clause for clause in self._clauses if atom in clause.atoms]
+
+
+def _log_sum_exp(values: list[float]) -> float:
+    if not values:
+        return float("-inf")
+    peak = max(values)
+    return peak + math.log(sum(math.exp(v - peak) for v in values))

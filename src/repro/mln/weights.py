@@ -1,0 +1,154 @@
+"""MLN weight learning.
+
+The RSC stage of MLNClean multiplies a distance term by the Markov weight of
+every piece of data (Definition 2 and Eq. 3).  The paper computes those
+weights with "the MLN weight learning method from Tuffy, which adopts the
+diagonal Newton method", starting from the prior of Eq. 4:
+
+    w0_i = c(γ_i) / Σ_j c(γ_j)
+
+where ``c(γ)`` is the number of tuples supporting γ and the sum ranges over
+the distinct γs of the block.
+
+This module implements that learner as a pseudo-likelihood optimiser.  Within
+each group of a block the distinct γs compete to explain the observed tuples,
+so the conditional likelihood of the evidence given the weights is the
+multinomial
+
+    L(w) = Σ_groups Σ_{γ in group} c(γ) · log softmax_group(w)_γ
+           − (λ/2) · Σ_γ (w_γ − w0_γ)²
+
+whose gradient and diagonal Hessian have closed forms; the learner performs
+damped diagonal-Newton updates exactly in the spirit of Tuffy's learner.  The
+learned weights preserve the property MLNClean relies on (Eq. 3): better
+supported, more consistent γs receive larger weights.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.mln.grounding import GroundClause
+
+
+@dataclass
+class WeightLearningConfig:
+    """Hyper-parameters of the diagonal-Newton pseudo-likelihood learner."""
+
+    #: maximum number of Newton iterations
+    max_iterations: int = 50
+    #: convergence threshold on the max absolute weight change
+    tolerance: float = 1e-6
+    #: strength of the Gaussian prior pulling weights towards the Eq.-4 prior
+    prior_strength: float = 1.0
+    #: damping added to the Hessian diagonal for numerical stability
+    damping: float = 1e-3
+    #: cap on the absolute value of a learned weight
+    max_weight: float = 25.0
+    #: cap on the magnitude of one Newton step.  The diagonal Hessian
+    #: underestimates the curvature of the group softmax, so an unbounded
+    #: Newton step overshoots and oscillates; Tuffy damps its updates the
+    #: same way.
+    max_step: float = 2.0
+
+
+def prior_weights(groundings: Sequence[GroundClause]) -> dict[GroundClause, float]:
+    """The Eq.-4 prior: support of each γ over the total support of the block."""
+    total = sum(g.support for g in groundings)
+    if total == 0:
+        return {g: 0.0 for g in groundings}
+    return {g: g.support / total for g in groundings}
+
+
+def learn_group_weights(
+    group_counts: Mapping[str, Mapping[tuple, int]],
+    priors: Mapping[tuple, float],
+    config: WeightLearningConfig | None = None,
+) -> dict[tuple, float]:
+    """Learn one weight per γ key from grouped support counts.
+
+    ``group_counts`` maps a group identifier to ``{γ key: tuple count}``;
+    ``priors`` maps γ keys to their Eq.-4 prior.  Returns the learned weight
+    per γ key.  This is the low-level entry point used by the
+    :class:`DiagonalNewtonLearner`.
+    """
+    config = config or WeightLearningConfig()
+    keys: list[tuple] = []
+    for counts in group_counts.values():
+        for key in counts:
+            if key not in keys:
+                keys.append(key)
+    if not keys:
+        return {}
+    weights = {key: float(priors.get(key, 0.0)) for key in keys}
+
+    for _ in range(config.max_iterations):
+        gradient = {key: 0.0 for key in keys}
+        hessian = {key: 0.0 for key in keys}
+        for counts in group_counts.values():
+            group_keys = list(counts.keys())
+            if not group_keys:
+                continue
+            total = sum(counts.values())
+            probabilities = _softmax({k: weights[k] for k in group_keys})
+            for key in group_keys:
+                p = probabilities[key]
+                gradient[key] += counts[key] - total * p
+                hessian[key] += total * p * (1.0 - p)
+        largest_change = 0.0
+        for key in keys:
+            prior = priors.get(key, 0.0)
+            grad = gradient[key] - config.prior_strength * (weights[key] - prior)
+            hess = hessian[key] + config.prior_strength + config.damping
+            step = _clip(grad / hess, config.max_step)
+            new_weight = _clip(weights[key] + step, config.max_weight)
+            largest_change = max(largest_change, abs(new_weight - weights[key]))
+            weights[key] = new_weight
+        if largest_change < config.tolerance:
+            break
+    return weights
+
+
+class DiagonalNewtonLearner:
+    """Weight learner over the groundings of one block of the MLN index.
+
+    The learner groups the block's groundings by their reason values (the
+    groups of the MLN index), computes the Eq.-4 prior, and runs the
+    diagonal-Newton pseudo-likelihood optimisation.  The result is a weight
+    per :class:`GroundClause` that the RSC and FSCR stages consume.
+    """
+
+    def __init__(self, config: WeightLearningConfig | None = None):
+        self.config = config or WeightLearningConfig()
+        #: number of Newton iterations performed in the last :meth:`learn` call
+        self.last_iterations = 0
+
+    def learn(self, groundings: Sequence[GroundClause]) -> dict[GroundClause, float]:
+        """Learn and return the weight of every grounding of a block."""
+        if not groundings:
+            return {}
+        priors_by_clause = prior_weights(groundings)
+        by_key = {g.key: g for g in groundings}
+        group_counts: dict[str, dict[tuple, int]] = {}
+        for grounding in groundings:
+            group_id = "|".join(grounding.reason_values)
+            group_counts.setdefault(group_id, {})[grounding.key] = grounding.support
+        priors = {g.key: priors_by_clause[g] for g in groundings}
+        learned = learn_group_weights(group_counts, priors, self.config)
+        weights = {by_key[key]: weight for key, weight in learned.items()}
+        for grounding, weight in weights.items():
+            grounding.clause.weight = weight
+        return weights
+
+
+def _softmax(scores: Mapping[tuple, float]) -> dict[tuple, float]:
+    peak = max(scores.values())
+    exponentials = {key: math.exp(value - peak) for key, value in scores.items()}
+    total = sum(exponentials.values())
+    return {key: value / total for key, value in exponentials.items()}
+
+
+def _clip(value: float, bound: float) -> float:
+    return max(-bound, min(bound, value))

@@ -1,0 +1,30 @@
+"""Synthetic workload generators for the paper's three datasets.
+
+The paper evaluates on HAI (hospital infections, 231 k tuples), CAR (used
+cars from cars.com, 30 k tuples) and a TPC-H derived table (6 M tuples),
+each governed by the integrity constraints of Table 4.  None of those files
+is available offline, so each generator produces a *clean* synthetic table
+with the same schema, the same rule set and comparable value-distribution
+characteristics (HAI is dense, CAR is sparse), scaled down to laptop size.
+Errors are then injected with :mod:`repro.errors` exactly as in Section 7.1.
+
+Every generator returns a :class:`Workload`: the clean table, its rules and
+a recommended AGP threshold, plus a convenience method that produces the
+dirty table and ground truth for a given error specification.
+"""
+
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.hai import HAIWorkloadGenerator
+from repro.workloads.car import CarWorkloadGenerator
+from repro.workloads.tpch import TPCHWorkloadGenerator
+from repro.workloads.registry import get_workload_generator, available_workloads
+
+__all__ = [
+    "Workload",
+    "WorkloadInstance",
+    "HAIWorkloadGenerator",
+    "CarWorkloadGenerator",
+    "TPCHWorkloadGenerator",
+    "get_workload_generator",
+    "available_workloads",
+]

@@ -1,0 +1,98 @@
+"""Common workload abstractions.
+
+A :class:`Workload` is a clean table plus its rule set and the per-dataset
+defaults (the AGP threshold τ the paper tunes per dataset).  Calling
+:meth:`Workload.make_instance` injects errors and returns a
+:class:`WorkloadInstance` ready to be handed to a cleaner and to the metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.rules import Rule
+from repro.dataset.table import Table
+from repro.errors.groundtruth import GroundTruth
+from repro.errors.injector import ErrorInjector, ErrorSpec
+
+
+@dataclass
+class WorkloadInstance:
+    """One experiment-ready instance: clean + dirty tables and ground truth."""
+
+    name: str
+    clean: Table
+    dirty: Table
+    ground_truth: GroundTruth
+    rules: list[Rule]
+    error_spec: ErrorSpec
+
+    @property
+    def error_rate(self) -> float:
+        return self.ground_truth.error_rate(self.dirty)
+
+    @property
+    def injected_errors(self) -> int:
+        return len(self.ground_truth)
+
+
+@dataclass
+class Workload:
+    """A clean dataset together with its integrity constraints."""
+
+    name: str
+    clean: Table
+    rules: list[Rule] = field(default_factory=list)
+    #: the AGP threshold the paper found optimal for this dataset
+    recommended_threshold: int = 1
+
+    def make_instance(
+        self, error_spec: Optional[ErrorSpec] = None
+    ) -> WorkloadInstance:
+        """Inject errors into a copy of the clean table."""
+        spec = error_spec or ErrorSpec()
+        injector = ErrorInjector(spec)
+        result = injector.inject(self.clean, self.rules)
+        return WorkloadInstance(
+            name=self.name,
+            clean=self.clean,
+            dirty=result.dirty,
+            ground_truth=result.ground_truth,
+            rules=self.rules,
+            error_spec=spec,
+        )
+
+
+class WorkloadGenerator(ABC):
+    """Base class of the HAI / CAR / TPC-H generators."""
+
+    #: short name used by the registry ("hai", "car", "tpch")
+    name: str = "workload"
+    #: AGP threshold the experiments use for this dataset
+    recommended_threshold: int = 1
+
+    def __init__(self, tuples: int = 2000, seed: int = 7):
+        if tuples < 1:
+            raise ValueError("a workload needs at least one tuple")
+        self.tuples = tuples
+        self.seed = seed
+
+    @abstractmethod
+    def rules(self) -> list[Rule]:
+        """The Table-4 rule set of the dataset."""
+
+    @abstractmethod
+    def generate_clean(self) -> Table:
+        """A clean table of ``self.tuples`` rows satisfying every rule."""
+
+    def build(self) -> Workload:
+        """Generate the clean table and bundle it with the rules."""
+        clean = self.generate_clean()
+        return Workload(
+            name=self.name,
+            clean=clean,
+            rules=self.rules(),
+            recommended_threshold=self.recommended_threshold,
+        )

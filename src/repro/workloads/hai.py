@@ -1,0 +1,175 @@
+"""HAI: the hospital-associated-infections workload.
+
+The real dataset (data.medicare.gov "Hospital Compare", 231,265 tuples) lists
+one row per hospital provider and reported infection measure.  The synthetic
+generator keeps that structure: a pool of providers — each with a consistent
+city / state / ZIP / county / phone number — crossed with a pool of measures,
+so every provider appears in many rows.  This makes HAI the *dense* workload
+of the study (large groups per reason value), which is why its optimal AGP
+threshold is much larger than CAR's (τ = 10 in the paper).
+
+The rule set is the HAI block of Table 4:
+
+* PhoneNumber ⇒ ZIPCode
+* PhoneNumber ⇒ State
+* ZIPCode ⇒ City
+* MeasureID ⇒ MeasureName
+* ZIPCode ⇒ CountyName
+* ProviderID ⇒ City, PhoneNumber
+* DC: no two tuples share a phone number but differ on state
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.constraints.rules import DenialConstraint, FunctionalDependency, Rule
+from repro.dataset.table import Table
+from repro.workloads.base import WorkloadGenerator
+
+#: US-style state codes used by the location pool
+_STATES = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+]
+
+_CITY_STEMS = [
+    "DOTHAN", "BOAZ", "HOOVER", "SELMA", "MOBILE", "JASPER", "ATHENS", "PELHAM",
+    "DECATUR", "FLORENCE", "GADSDEN", "OXFORD", "TROY", "CULLMAN", "OZARK", "EUFAULA",
+]
+
+_COUNTY_STEMS = [
+    "HOUSTON", "MARSHALL", "JEFFERSON", "DALLAS", "MOBILE", "WALKER", "LIMESTONE",
+    "SHELBY", "MORGAN", "LAUDERDALE", "ETOWAH", "CALHOUN", "PIKE", "CULLMAN",
+]
+
+_MEASURE_STEMS = [
+    "CLABSI", "CAUTI", "SSI-COLON", "SSI-HYST", "MRSA", "CDIFF", "HAI-1", "HAI-2",
+    "HAI-3", "HAI-4", "HAI-5", "HAI-6",
+]
+
+
+@dataclass
+class _Location:
+    city: str
+    state: str
+    county: str
+    zip_code: str
+
+
+@dataclass
+class _Provider:
+    provider_id: str
+    name: str
+    location: _Location
+    phone: str
+
+
+class HAIWorkloadGenerator(WorkloadGenerator):
+    """Synthetic HAI: providers × infection measures."""
+
+    name = "hai"
+    recommended_threshold = 10
+
+    def __init__(
+        self,
+        tuples: int = 4000,
+        seed: int = 7,
+        providers: int | None = None,
+        measures: int = 24,
+    ):
+        super().__init__(tuples=tuples, seed=seed)
+        #: number of distinct providers; the default keeps ~40 rows per
+        #: provider, matching the density of the real dataset (231 k rows over
+        #: a few thousand providers)
+        self.providers = providers if providers is not None else max(10, tuples // 40)
+        self.measures = measures
+
+    def rules(self) -> list[Rule]:
+        return [
+            FunctionalDependency(["PhoneNumber"], ["ZIPCode"], name="hai_r1"),
+            FunctionalDependency(["PhoneNumber"], ["State"], name="hai_r2"),
+            FunctionalDependency(["ZIPCode"], ["City"], name="hai_r3"),
+            FunctionalDependency(["MeasureID"], ["MeasureName"], name="hai_r4"),
+            FunctionalDependency(["ZIPCode"], ["CountyName"], name="hai_r5"),
+            FunctionalDependency(["ProviderID"], ["City", "PhoneNumber"], name="hai_r6"),
+            DenialConstraint.pairwise_equality_implies_equality(
+                equal_attribute="PhoneNumber", implied_attribute="State", name="hai_r7"
+            ),
+        ]
+
+    def generate_clean(self) -> Table:
+        rng = random.Random(self.seed)
+        locations = self._locations(rng)
+        providers = self._providers(rng, locations)
+        measures = self._measures()
+
+        records = []
+        for index in range(self.tuples):
+            provider = providers[index % len(providers)]
+            measure_id, measure_name = measures[
+                (index // len(providers)) % len(measures)
+            ]
+            score = str(rng.randint(0, 100))
+            records.append(
+                {
+                    "ProviderID": provider.provider_id,
+                    "HospitalName": provider.name,
+                    "City": provider.location.city,
+                    "State": provider.location.state,
+                    "ZIPCode": provider.location.zip_code,
+                    "CountyName": provider.location.county,
+                    "PhoneNumber": provider.phone,
+                    "MeasureID": measure_id,
+                    "MeasureName": measure_name,
+                    "Score": score,
+                }
+            )
+        return Table.from_records(records, name="hai")
+
+    # ------------------------------------------------------------------
+    # pools
+    # ------------------------------------------------------------------
+    def _locations(self, rng: random.Random) -> list[_Location]:
+        """Distinct (city, state, county, ZIP) combinations; ZIP is a key."""
+        locations = []
+        count = max(8, self.providers // 3)
+        for index in range(count):
+            city = f"{_CITY_STEMS[index % len(_CITY_STEMS)]}{index // len(_CITY_STEMS) or ''}"
+            state = _STATES[index % len(_STATES)]
+            county = _COUNTY_STEMS[index % len(_COUNTY_STEMS)]
+            zip_code = f"{35000 + index:05d}"
+            locations.append(_Location(city, state, county, zip_code))
+        rng.shuffle(locations)
+        return locations
+
+    def _providers(
+        self, rng: random.Random, locations: list[_Location]
+    ) -> list[_Provider]:
+        providers = []
+        for index in range(self.providers):
+            location = locations[index % len(locations)]
+            provider_id = f"P{10000 + index}"
+            name = f"HOSPITAL-{index:04d}"
+            phone = f"{2050000000 + index * 7919}"
+            providers.append(_Provider(provider_id, name, location, phone))
+        rng.shuffle(providers)
+        return providers
+
+    def _measures(self) -> list[tuple[str, str]]:
+        """Measure id/name pairs.
+
+        Ids follow the real dataset's ``HAI_<n>_SIR`` shape and embed the
+        measure stem, so a one-character typo in an id rarely collides with a
+        different measure's id (short numeric ids would collide constantly,
+        which the real data does not exhibit).
+        """
+        measures = []
+        for index in range(self.measures):
+            stem = _MEASURE_STEMS[index % len(_MEASURE_STEMS)]
+            suffix = index // len(_MEASURE_STEMS)
+            measure_name = f"{stem}-{suffix}" if suffix else stem
+            measure_id = f"HAI-{measure_name}-SIR-{index:02d}"
+            measures.append((measure_id, measure_name))
+        return measures

@@ -1,0 +1,46 @@
+"""Workload registry: look generators up by dataset name.
+
+The experiment harness and the benchmarks refer to datasets by the names the
+paper uses ("CAR", "HAI", "TPC-H"); this registry maps those names to the
+generator classes with sensible default sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.car import CarWorkloadGenerator
+from repro.workloads.hai import HAIWorkloadGenerator
+from repro.workloads.tpch import TPCHWorkloadGenerator
+
+_GENERATORS: dict[str, Type[WorkloadGenerator]] = {
+    "hai": HAIWorkloadGenerator,
+    "car": CarWorkloadGenerator,
+    "tpch": TPCHWorkloadGenerator,
+    "tpc-h": TPCHWorkloadGenerator,
+}
+
+
+def available_workloads() -> list[str]:
+    """Canonical workload names."""
+    return ["hai", "car", "tpch"]
+
+
+def get_workload_generator(
+    name: str, tuples: Optional[int] = None, seed: int = 7, **kwargs
+) -> WorkloadGenerator:
+    """Instantiate the generator registered under ``name``.
+
+    ``tuples`` overrides the generator's default size; extra keyword
+    arguments are forwarded to the generator constructor.
+    """
+    key = name.lower()
+    if key not in _GENERATORS:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        )
+    generator_cls = _GENERATORS[key]
+    if tuples is not None:
+        return generator_cls(tuples=tuples, seed=seed, **kwargs)
+    return generator_cls(seed=seed, **kwargs)

@@ -1,0 +1,89 @@
+"""TPC-H: the synthetic benchmark workload.
+
+The paper joins the two largest TPC-H tables (lineitem and customer) into a
+6-million-tuple relation governed by the single FD ``CustKey ⇒ Address``
+(Table 4).  TPC-H is itself synthetic, so this generator regenerates an
+equivalent join at laptop scale: each customer (with a stable address,
+nation and phone) appears once per order line.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.rules import FunctionalDependency, Rule
+from repro.dataset.table import Table
+from repro.workloads.base import WorkloadGenerator
+
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+
+class TPCHWorkloadGenerator(WorkloadGenerator):
+    """Synthetic lineitem ⋈ customer join with the CustKey ⇒ Address FD."""
+
+    name = "tpch"
+    recommended_threshold = 2
+
+    def __init__(
+        self,
+        tuples: int = 6000,
+        seed: int = 7,
+        customers: int | None = None,
+    ):
+        super().__init__(tuples=tuples, seed=seed)
+        #: distinct customers; the default gives ~30 order lines per customer,
+        #: matching the lineitem-per-customer density of TPC-H at scale
+        self.customers = customers if customers is not None else max(10, tuples // 30)
+
+    def rules(self) -> list[Rule]:
+        return [FunctionalDependency(["CustKey"], ["Address"], name="tpch_r1")]
+
+    def generate_clean(self) -> Table:
+        rng = random.Random(self.seed)
+        customers = self._customers(rng)
+        records = []
+        for index in range(self.tuples):
+            cust_key, name, address, nation, phone, segment = customers[
+                index % len(customers)
+            ]
+            records.append(
+                {
+                    "CustKey": cust_key,
+                    "Name": name,
+                    "Address": address,
+                    "Nation": nation,
+                    "Phone": phone,
+                    "Segment": segment,
+                    "OrderKey": f"O{100000 + index}",
+                    "Quantity": str(rng.randint(1, 50)),
+                    "ExtendedPrice": f"{rng.uniform(100.0, 90000.0):.2f}",
+                }
+            )
+        return Table.from_records(records, name="tpch")
+
+    def _customers(
+        self, rng: random.Random
+    ) -> list[tuple[str, str, str, str, str, str]]:
+        customers = []
+        for index in range(self.customers):
+            cust_key = f"C{index:07d}"
+            name = f"Customer#{index:09d}"
+            address = f"{rng.randint(1, 9999)} {_random_street(rng)} {index:05d}"
+            nation = _NATIONS[index % len(_NATIONS)]
+            phone = f"{10 + index % 25}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+            segment = _SEGMENTS[index % len(_SEGMENTS)]
+            customers.append((cust_key, name, address, nation, phone, segment))
+        return customers
+
+
+def _random_street(rng: random.Random) -> str:
+    stems = ["OAK", "MAPLE", "CEDAR", "PINE", "ELM", "WALNUT", "BIRCH", "SPRUCE"]
+    suffixes = ["ST", "AVE", "BLVD", "LN", "DR", "WAY"]
+    return f"{rng.choice(stems)} {rng.choice(suffixes)}"

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (synthetic workloads) are session-scoped and kept
+small: the tests exercise behaviour and invariants, not statistical quality,
+so a few hundred tuples per workload keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MLNCleanConfig
+from repro.dataset.sample import (
+    sample_hospital_clean_table,
+    sample_hospital_rules,
+    sample_hospital_table,
+)
+from repro.dataset.table import Cell
+from repro.errors.groundtruth import ErrorType, GroundTruth, InjectedError
+from repro.errors.injector import ErrorSpec
+from repro.workloads.car import CarWorkloadGenerator
+from repro.workloads.hai import HAIWorkloadGenerator
+from repro.workloads.tpch import TPCHWorkloadGenerator
+
+
+@pytest.fixture
+def sample_table():
+    """The dirty hospital sample of Table 1 (tids 0-5)."""
+    return sample_hospital_table()
+
+
+@pytest.fixture
+def sample_clean_table():
+    return sample_hospital_clean_table()
+
+
+@pytest.fixture
+def sample_rules():
+    """The rules r1 (FD), r2 (DC), r3 (CFD) of Example 1."""
+    return sample_hospital_rules()
+
+
+@pytest.fixture
+def sample_ground_truth():
+    """The injected-error ledger matching the sample's known dirty cells."""
+    return GroundTruth(
+        [
+            InjectedError(Cell(1, "CT"), "DOTHAN", "DOTH", ErrorType.TYPO),
+            InjectedError(Cell(2, "CT"), "BOAZ", "DOTHAN", ErrorType.REPLACEMENT),
+            InjectedError(Cell(2, "PN"), "2567688400", "2567638410", ErrorType.REPLACEMENT),
+            InjectedError(Cell(3, "ST"), "AL", "AK", ErrorType.REPLACEMENT),
+        ]
+    )
+
+
+@pytest.fixture
+def sample_config():
+    return MLNCleanConfig(abnormal_threshold=1)
+
+
+@pytest.fixture(scope="session")
+def car_workload():
+    return CarWorkloadGenerator(tuples=450, seed=3).build()
+
+
+@pytest.fixture(scope="session")
+def hai_workload():
+    return HAIWorkloadGenerator(tuples=600, seed=3).build()
+
+
+@pytest.fixture(scope="session")
+def tpch_workload():
+    return TPCHWorkloadGenerator(tuples=500, seed=3).build()
+
+
+@pytest.fixture(scope="session")
+def hai_instance(hai_workload):
+    """A dirty HAI instance with 5% errors."""
+    return hai_workload.make_instance(ErrorSpec(error_rate=0.05, seed=11))
+
+
+@pytest.fixture(scope="session")
+def car_instance(car_workload):
+    return car_workload.make_instance(ErrorSpec(error_rate=0.05, seed=11))

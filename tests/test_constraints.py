@@ -1,0 +1,217 @@
+"""Unit tests for rules, predicates, parsing and violation detection."""
+
+import pytest
+
+from repro.constraints.predicates import Comparison, Predicate
+from repro.constraints.parser import RuleParseError, parse_rule, parse_rules
+from repro.constraints.rules import (
+    ConditionalFunctionalDependency,
+    DenialConstraint,
+    FunctionalDependency,
+)
+from repro.constraints.violations import (
+    detect_violations,
+    is_consistent,
+    violating_cells,
+    violating_tids,
+    violation_summary,
+)
+from repro.dataset.table import Cell, Table
+
+
+# ----------------------------------------------------------------------
+# predicates
+# ----------------------------------------------------------------------
+def test_comparison_operators():
+    assert Comparison.EQ.evaluate("A", "A")
+    assert Comparison.NEQ.evaluate("A", "B")
+    assert Comparison.LT.evaluate("2", "10")  # numeric ordering
+    assert Comparison.GT.evaluate("B", "A")  # lexicographic fallback
+    assert Comparison.EQ.negated() is Comparison.NEQ
+    assert Comparison.LT.negated() is Comparison.GTE
+
+
+def test_predicate_requires_exactly_one_rhs():
+    with pytest.raises(ValueError):
+        Predicate("A", Comparison.EQ)
+    with pytest.raises(ValueError):
+        Predicate("A", Comparison.EQ, right_attribute="B", constant="x")
+
+
+def test_predicate_holds_pairwise_and_constant():
+    pairwise = Predicate("PN", Comparison.EQ, right_attribute="PN")
+    assert pairwise.holds({"PN": "1"}, {"PN": "1"})
+    assert not pairwise.holds({"PN": "1"}, {"PN": "2"})
+    with pytest.raises(ValueError):
+        pairwise.holds({"PN": "1"})
+    constant = Predicate("CT", Comparison.EQ, constant="BOAZ", pairwise=False)
+    assert constant.holds({"CT": "BOAZ"})
+
+
+# ----------------------------------------------------------------------
+# FD
+# ----------------------------------------------------------------------
+def test_fd_reason_result_and_validation():
+    fd = FunctionalDependency(["CT"], ["ST"])
+    assert fd.reason_attributes == ["CT"]
+    assert fd.result_attributes == ["ST"]
+    assert fd.attributes == ["CT", "ST"]
+    with pytest.raises(ValueError):
+        FunctionalDependency(["A"], ["A"])
+    with pytest.raises(ValueError):
+        FunctionalDependency([], ["A"])
+
+
+def test_fd_violations(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"], name="r1")
+    violations = fd.violations(sample_table)
+    assert len(violations) == 1
+    assert set(violations[0].tids) == {3, 4, 5}
+    assert not fd.is_satisfied(sample_table)
+
+
+def test_fd_covers_everything(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"])
+    assert all(fd.covers(row.as_dict()) for row in sample_table)
+
+
+def test_fd_mln_string():
+    fd = FunctionalDependency(["CT"], ["ST"])
+    assert fd.to_mln_string() == "¬CT ∨ ST"
+
+
+# ----------------------------------------------------------------------
+# CFD
+# ----------------------------------------------------------------------
+def test_cfd_coverage_partial_constant_match(sample_table):
+    cfd = ConditionalFunctionalDependency(
+        conditions={"HN": "ELIZA", "CT": "BOAZ"},
+        consequents={"PN": "2567688400"},
+    )
+    covered = [row.tid for row in sample_table if cfd.covers(row.as_dict())]
+    # t3 (HN ELIZA, CT DOTHAN) is covered via the HN constant; t1/t2 are not.
+    assert covered == [2, 3, 4, 5]
+
+
+def test_cfd_violations_constant_consequent():
+    table = Table.from_records(
+        [
+            {"HN": "ELIZA", "CT": "BOAZ", "PN": "111"},
+            {"HN": "ELIZA", "CT": "BOAZ", "PN": "2567688400"},
+        ]
+    )
+    cfd = ConditionalFunctionalDependency(
+        conditions={"HN": "ELIZA", "CT": "BOAZ"},
+        consequents={"PN": "2567688400"},
+    )
+    violations = cfd.violations(table)
+    assert len(violations) == 1
+    assert violations[0].suspect_cells == (Cell(0, "PN"),)
+
+
+def test_cfd_variable_consequent_behaves_like_restricted_fd():
+    table = Table.from_records(
+        [
+            {"Make": "acura", "Type": "sedan", "Doors": "4"},
+            {"Make": "acura", "Type": "sedan", "Doors": "2"},
+            {"Make": "ford", "Type": "sedan", "Doors": "3"},
+        ]
+    )
+    cfd = ConditionalFunctionalDependency(
+        conditions={"Make": "acura", "Type": None}, consequents={"Doors": None}
+    )
+    violations = cfd.violations(table)
+    assert len(violations) == 1
+    assert set(violations[0].tids) == {0, 1}
+
+
+def test_cfd_rejects_overlap_and_empty():
+    with pytest.raises(ValueError):
+        ConditionalFunctionalDependency({"A": "x"}, {"A": None})
+    with pytest.raises(ValueError):
+        ConditionalFunctionalDependency({}, {"A": None})
+
+
+# ----------------------------------------------------------------------
+# DC
+# ----------------------------------------------------------------------
+def test_dc_reason_result_split():
+    dc = DenialConstraint.pairwise_equality_implies_equality("PN", "ST")
+    assert dc.reason_attributes == ["PN"]
+    assert dc.result_attributes == ["ST"]
+
+
+def test_dc_violations(sample_table):
+    dc = DenialConstraint.pairwise_equality_implies_equality("PN", "ST", name="r2")
+    violations = dc.violations(sample_table)
+    pairs = {tuple(sorted(v.tids)) for v in violations}
+    assert pairs == {(2, 3), (2, 4)} or pairs == {(3, 4), (3, 5)}
+
+
+def test_dc_requires_two_predicates():
+    with pytest.raises(ValueError):
+        DenialConstraint([Predicate("A", Comparison.EQ, right_attribute="A")])
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def test_parse_fd():
+    rule = parse_rule("PhoneNumber -> ZIPCode")
+    assert isinstance(rule, FunctionalDependency)
+    assert rule.determinant == ["PhoneNumber"]
+
+
+def test_parse_fd_multiple_rhs():
+    rule = parse_rule("ProviderID -> City, PhoneNumber")
+    assert rule.result_attributes == ["City", "PhoneNumber"]
+
+
+def test_parse_cfd_with_constants():
+    rule = parse_rule("Make=acura, Type -> Doors")
+    assert isinstance(rule, ConditionalFunctionalDependency)
+    assert rule.constant_conditions == {"Make": "acura"}
+    assert rule.result_attributes == ["Doors"]
+
+
+def test_parse_dc():
+    rule = parse_rule("DC: PN(t1)=PN(t2) & ST(t1)!=ST(t2)")
+    assert isinstance(rule, DenialConstraint)
+    assert rule.reason_attributes == ["PN"]
+    assert rule.result_attributes == ["ST"]
+
+
+def test_parse_dc_with_constant_predicate():
+    rule = parse_rule("DC: State(t1)=State(t2) & Score(t1)>100")
+    assert isinstance(rule, DenialConstraint)
+    assert rule.result_predicate.constant == "100"
+
+
+def test_parse_rules_names():
+    rules = parse_rules(["A -> B", "B -> C"])
+    assert [rule.name for rule in rules] == ["r1", "r2"]
+
+
+@pytest.mark.parametrize("bad", ["", "no arrow here", "DC: only-one-term(t1)=x"])
+def test_parse_errors(bad):
+    with pytest.raises(RuleParseError):
+        parse_rule(bad)
+
+
+# ----------------------------------------------------------------------
+# violation helpers
+# ----------------------------------------------------------------------
+def test_violation_helpers(sample_table, sample_rules):
+    violations = detect_violations(sample_table, sample_rules)
+    assert violations
+    cells = violating_cells(sample_table, sample_rules)
+    assert all(isinstance(cell, Cell) for cell in cells)
+    tids = violating_tids(sample_table, sample_rules)
+    assert tids <= set(sample_table.tids)
+    summary = violation_summary(sample_table, sample_rules)
+    assert summary["r1"] == 1
+    assert not is_consistent(sample_table, sample_rules)
+
+
+def test_clean_sample_has_no_violations(sample_clean_table, sample_rules):
+    assert is_consistent(sample_clean_table, sample_rules)

@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.dataset.domain`."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataset.domain import Domain
+
+
+def test_add_and_count():
+    domain = Domain("CT", ["BOAZ", "DOTHAN", "BOAZ"])
+    assert domain.count("BOAZ") == 2
+    assert domain.count("DOTHAN") == 1
+    assert domain.count("MISSING") == 0
+
+
+def test_values_preserve_first_seen_order():
+    domain = Domain("CT", ["B", "A", "C", "A"])
+    assert domain.values == ["B", "A", "C"]
+
+
+def test_size_and_total_observations():
+    domain = Domain("CT", ["A", "B", "A", "A"])
+    assert domain.size == 2
+    assert domain.total_observations == 4
+    assert len(domain) == 2
+
+
+def test_frequency():
+    domain = Domain("CT", ["A", "B", "A", "A"])
+    assert domain.frequency("A") == pytest.approx(0.75)
+    assert domain.frequency("B") == pytest.approx(0.25)
+    assert domain.frequency("Z") == 0.0
+
+
+def test_frequency_of_empty_domain_is_zero():
+    assert Domain("CT").frequency("A") == 0.0
+
+
+def test_add_rejects_nonpositive_count():
+    domain = Domain("CT")
+    with pytest.raises(ValueError):
+        domain.add("A", 0)
+
+
+def test_contains_and_iter():
+    domain = Domain("CT", ["A", "B"])
+    assert "A" in domain
+    assert "Z" not in domain
+    assert list(domain) == ["A", "B"]
+
+
+def test_discard_removes_value():
+    domain = Domain("CT", ["A", "B"])
+    domain.discard("A")
+    assert "A" not in domain
+    assert domain.values == ["B"]
+    domain.discard("A")  # idempotent
+
+
+def test_sample_excludes_value():
+    domain = Domain("CT", ["A", "B", "C"])
+    rng = random.Random(1)
+    for _ in range(20):
+        assert domain.sample(rng, exclude="A") != "A"
+
+
+def test_sample_raises_when_no_alternative():
+    domain = Domain("CT", ["A"])
+    with pytest.raises(ValueError):
+        domain.sample(random.Random(1), exclude="A")
+
+
+def test_sample_weighted_respects_exclusion():
+    domain = Domain("CT", ["A"] * 10 + ["B"])
+    rng = random.Random(2)
+    for _ in range(10):
+        assert domain.sample_weighted(rng, exclude="A") == "B"
+
+
+def test_most_common_ordering():
+    domain = Domain("CT", ["A", "B", "B", "C", "C", "C"])
+    assert domain.most_common(2) == [("C", 3), ("B", 2)]
+
+
+def test_merge_combines_counts():
+    left = Domain("CT", ["A", "B"])
+    right = Domain("CT", ["B", "C"])
+    merged = left.merge(right)
+    assert merged.count("B") == 2
+    assert set(merged.values) == {"A", "B", "C"}
+    # originals untouched
+    assert left.count("B") == 1
+
+
+@given(st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=50))
+def test_total_observations_matches_input_length(values):
+    domain = Domain("X", values)
+    assert domain.total_observations == len(values)
+    assert domain.size == len(set(values))
+
+
+@given(st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=50))
+def test_frequencies_sum_to_one(values):
+    domain = Domain("X", values)
+    total = sum(domain.frequency(v) for v in domain.values)
+    assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,68 @@
+"""Unit tests for CSV I/O and the paper's Table-1 sample fixture."""
+
+import pytest
+
+from repro.constraints.violations import detect_violations, is_consistent
+from repro.dataset.io import read_csv, write_csv
+from repro.dataset.sample import (
+    SAMPLE_ATTRIBUTES,
+    sample_hospital_clean_table,
+    sample_hospital_rules,
+    sample_hospital_table,
+)
+from repro.dataset.table import Table
+
+
+def test_csv_round_trip(tmp_path):
+    table = Table.from_records(
+        [{"A": "1", "B": "hello, world"}, {"A": "2", "B": ""}], attributes=["A", "B"]
+    )
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded.records() == table.records()
+    assert loaded.name == "t"
+
+
+def test_read_csv_column_selection(tmp_path):
+    table = Table.from_records([{"A": "1", "B": "2", "C": "3"}])
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path, attributes=["C", "A"])
+    assert loaded.schema.attributes == ["C", "A"]
+
+
+def test_read_csv_missing_column(tmp_path):
+    table = Table.from_records([{"A": "1"}])
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    with pytest.raises(KeyError):
+        read_csv(path, attributes=["Z"])
+
+
+def test_sample_table_matches_paper():
+    table = sample_hospital_table()
+    assert len(table) == 6
+    assert table.schema.attributes == SAMPLE_ATTRIBUTES
+    assert table.value(1, "CT") == "DOTH"
+    assert table.value(3, "ST") == "AK"
+
+
+def test_sample_rules_kinds():
+    rules = sample_hospital_rules()
+    assert [rule.kind for rule in rules] == ["FD", "DC", "CFD"]
+    assert [rule.name for rule in rules] == ["r1", "r2", "r3"]
+
+
+def test_sample_dirty_table_violates_rules():
+    table = sample_hospital_table()
+    rules = sample_hospital_rules()
+    assert not is_consistent(table, rules)
+    violations = detect_violations(table, rules)
+    assert any(v.rule.name == "r1" for v in violations)
+
+
+def test_sample_clean_table_is_consistent():
+    clean = sample_hospital_clean_table()
+    rules = sample_hospital_rules()
+    assert is_consistent(clean, rules)

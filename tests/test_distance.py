@@ -1,0 +1,141 @@
+"""Unit and property tests for the distance metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distance import (
+    CosineDistance,
+    DamerauLevenshteinDistance,
+    JaccardDistance,
+    LevenshteinDistance,
+    available_metrics,
+    get_metric,
+)
+
+ALL_METRICS = [
+    LevenshteinDistance(),
+    DamerauLevenshteinDistance(),
+    CosineDistance(),
+    JaccardDistance(),
+]
+
+short_text = st.text(alphabet=st.characters(min_codepoint=48, max_codepoint=122), max_size=12)
+
+
+# ----------------------------------------------------------------------
+# Levenshtein
+# ----------------------------------------------------------------------
+def test_levenshtein_known_values():
+    metric = LevenshteinDistance()
+    assert metric.distance("DOTHAN", "DOTH") == 2
+    assert metric.distance("AL", "AK") == 1
+    assert metric.distance("", "ABC") == 3
+    assert metric.distance("kitten", "sitting") == 3
+
+
+def test_levenshtein_normalized_bounds():
+    metric = LevenshteinDistance()
+    assert metric.normalized("ABC", "ABC") == 0.0
+    assert metric.normalized("ABC", "XYZ") == 1.0
+    assert 0.0 < metric.normalized("ABC", "ABD") < 1.0
+
+
+def test_damerau_counts_transposition_as_one():
+    assert DamerauLevenshteinDistance().distance("AB", "BA") == 1
+    assert LevenshteinDistance().distance("AB", "BA") == 2
+
+
+# ----------------------------------------------------------------------
+# cosine / jaccard
+# ----------------------------------------------------------------------
+def test_cosine_identical_and_disjoint():
+    metric = CosineDistance()
+    assert metric.distance("BOAZ", "BOAZ") == 0.0
+    assert metric.distance("AAAA", "ZZZZ") == pytest.approx(1.0)
+
+
+def test_cosine_prefix_typo_large_distance():
+    # The paper's observation: an error in the leading characters inflates the
+    # cosine distance much more than the Levenshtein distance.
+    cosine = CosineDistance()
+    levenshtein = LevenshteinDistance()
+    assert cosine.normalized("XOAZ", "BOAZ") > levenshtein.normalized("XOAZ", "BOAZ")
+
+
+def test_jaccard_known_value():
+    metric = JaccardDistance(ngram_size=2)
+    # "ABC" -> {AB, BC}; "ABD" -> {AB, BD}: intersection 1, union 3.
+    assert metric.distance("ABC", "ABD") == pytest.approx(1 - 1 / 3)
+
+
+def test_ngram_size_validation():
+    with pytest.raises(ValueError):
+        CosineDistance(ngram_size=0)
+    with pytest.raises(ValueError):
+        JaccardDistance(ngram_size=0)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_contains_all_metrics():
+    assert {"levenshtein", "cosine", "damerau", "jaccard"} <= set(available_metrics())
+
+
+def test_get_metric_case_insensitive():
+    assert isinstance(get_metric("Levenshtein"), LevenshteinDistance)
+
+
+def test_get_metric_unknown():
+    with pytest.raises(KeyError):
+        get_metric("no-such-metric")
+
+
+# ----------------------------------------------------------------------
+# value-tuple helpers
+# ----------------------------------------------------------------------
+def test_values_distance_sums_positions():
+    metric = LevenshteinDistance()
+    assert metric.values_distance(("AL", "BOAZ"), ("AK", "BOAZ")) == 1
+    assert metric.values_distance(("AL", "BOAZ"), ("AK", "BOA")) == 2
+
+
+def test_values_distance_length_mismatch():
+    with pytest.raises(ValueError):
+        LevenshteinDistance().values_distance(("A",), ("A", "B"))
+
+
+def test_values_normalized_in_unit_interval():
+    metric = LevenshteinDistance()
+    assert metric.values_normalized(("AL", "BOAZ"), ("AL", "BOAZ")) == 0.0
+    assert 0.0 < metric.values_normalized(("AL", "BOAZ"), ("AK", "XXXX")) <= 1.0
+
+
+# ----------------------------------------------------------------------
+# metric axioms (property-based)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+@given(value=short_text)
+def test_identity_axiom(metric, value):
+    assert metric.distance(value, value) == 0.0
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+@given(left=short_text, right=short_text)
+def test_symmetry_axiom(metric, left, right):
+    assert metric.distance(left, right) == pytest.approx(metric.distance(right, left))
+
+
+@pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+@given(left=short_text, right=short_text)
+def test_non_negativity_and_normalized_bounds(metric, left, right):
+    assert metric.distance(left, right) >= 0.0
+    assert 0.0 <= metric.normalized(left, right) <= 1.0
+
+
+@given(left=short_text, right=short_text, third=short_text)
+def test_levenshtein_triangle_inequality(left, right, third):
+    metric = LevenshteinDistance()
+    assert metric.distance(left, third) <= (
+        metric.distance(left, right) + metric.distance(right, third)
+    )

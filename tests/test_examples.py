@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end on a small workload."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, argv: list[str]):
+    monkeypatch.setattr(sys, "argv", [script, *argv])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "quickstart.py", [])
+    assert "Dirty input" in output
+    assert "Final clean table" in output
+    # the typo DOTH disappears and the duplicates collapse
+    assert "DOTH " not in output.split("Final clean table")[1]
+
+
+def test_hospital_cleaning_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "hospital_cleaning.py", ["400"])
+    assert "Running MLNClean" in output
+    assert "HoloClean" in output
+    assert "Higher F1 on this run" in output
+
+
+def test_car_error_types_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "car_error_types.py", ["300"])
+    assert "fig07" in output
+    assert "All-typo setting" in output
+
+
+def test_distributed_tpch_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "distributed_tpch.py", ["400"])
+    assert "partition sizes" in output
+    assert "workers" in output
+
+
+def test_examples_directory_contains_expected_scripts():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "hospital_cleaning.py",
+        "car_error_types.py",
+        "distributed_tpch.py",
+    } <= names

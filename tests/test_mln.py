@@ -1,0 +1,224 @@
+"""Unit tests for the Markov logic substrate: formulas, grounding, weights, inference."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constraints.rules import FunctionalDependency
+from repro.dataset.table import Table
+from repro.mln.formula import Atom, Clause, Literal
+from repro.mln.grounding import ground_rule, ground_rules, grounding_statistics
+from repro.mln.inference import ExactInference, GibbsSampler
+from repro.mln.network import MarkovLogicNetwork
+from repro.mln.weights import (
+    DiagonalNewtonLearner,
+    WeightLearningConfig,
+    learn_group_weights,
+    prior_weights,
+)
+
+
+# ----------------------------------------------------------------------
+# formulas
+# ----------------------------------------------------------------------
+def test_atom_and_literal_rendering():
+    atom = Atom("CT", "DOTHAN")
+    assert atom.render() == 'CT("DOTHAN")'
+    literal = Literal(atom, negated=True)
+    assert literal.render() == '¬CT("DOTHAN")'
+    assert literal.negate().negated is False
+
+
+def test_literal_evaluation_defaults_to_false():
+    atom = Atom("CT", "DOTHAN")
+    assert Literal(atom).evaluate({}) is False
+    assert Literal(atom, negated=True).evaluate({}) is True
+
+
+def test_clause_satisfaction_and_identity():
+    a, b = Atom("CT", "X"), Atom("ST", "Y")
+    clause = Clause([Literal(a, negated=True), Literal(b)])
+    assert clause.is_satisfied({a: False, b: False})
+    assert clause.is_satisfied({a: True, b: True})
+    assert not clause.is_satisfied({a: True, b: False})
+    assert clause == Clause([Literal(a, negated=True), Literal(b)], weight=3.0)
+    assert len(clause) == 2
+    assert clause.atoms == [a, b]
+
+
+def test_clause_requires_literals():
+    with pytest.raises(ValueError):
+        Clause([])
+
+
+# ----------------------------------------------------------------------
+# network
+# ----------------------------------------------------------------------
+def build_network():
+    a, b = Atom("A", "x"), Atom("B", "y")
+    network = MarkovLogicNetwork()
+    network.add(Clause([Literal(a, negated=True), Literal(b)]), weight=2.0)
+    network.add(Clause([Literal(a)]), weight=1.0)
+    return network, a, b
+
+
+def test_world_score_and_probability():
+    network, a, b = build_network()
+    assert network.world_score({a: True, b: True}) == pytest.approx(3.0)
+    assert network.world_score({a: True, b: False}) == pytest.approx(1.0)
+    total = sum(
+        network.world_probability({a: va, b: vb})
+        for va in (False, True)
+        for vb in (False, True)
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_partition_function_refuses_large_networks():
+    network = MarkovLogicNetwork()
+    for i in range(30):
+        network.add(Clause([Literal(Atom("P", str(i)))]), weight=0.1)
+    with pytest.raises(ValueError):
+        network.log_partition_function()
+
+
+def test_clauses_for_atom():
+    network, a, b = build_network()
+    assert len(network.clauses_for_atom(a)) == 2
+    assert len(network.clauses_for_atom(b)) == 1
+
+
+# ----------------------------------------------------------------------
+# grounding
+# ----------------------------------------------------------------------
+def test_ground_rule_matches_table3(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"], name="r1")
+    groundings = ground_rule(fd, sample_table)
+    combos = {(g.reason_values, g.result_values): g.support for g in groundings}
+    assert combos == {
+        (("DOTHAN",), ("AL",)): 2,
+        (("DOTH",), ("AL",)): 1,
+        (("BOAZ",), ("AK",)): 1,
+        (("BOAZ",), ("AL",)): 2,
+    }
+
+
+def test_ground_rule_clause_shape(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"])
+    grounding = ground_rule(fd, sample_table)[0]
+    rendered = grounding.clause.render()
+    assert rendered.startswith("¬CT(")
+    assert "ST(" in rendered
+
+
+def test_ground_rules_and_statistics(sample_table, sample_rules):
+    groundings = ground_rules(sample_rules, sample_table)
+    assert set(groundings) == {"r1", "r2", "r3"}
+    stats = grounding_statistics(groundings)
+    assert stats["r1"]["groundings"] == 4
+    assert stats["r1"]["groups"] == 3
+    # r3 only covers the four ELIZA tuples
+    assert stats["r3"]["support"] == 4
+
+
+# ----------------------------------------------------------------------
+# weights
+# ----------------------------------------------------------------------
+def test_prior_weights_eq4(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"])
+    groundings = ground_rule(fd, sample_table)
+    priors = prior_weights(groundings)
+    assert sum(priors.values()) == pytest.approx(1.0)
+    by_combo = {g.reason_values + g.result_values: p for g, p in priors.items()}
+    assert by_combo[("BOAZ", "AL")] == pytest.approx(2 / 6)
+
+
+def test_learner_ranks_supported_gamma_higher(sample_table):
+    fd = FunctionalDependency(["CT"], ["ST"])
+    groundings = ground_rule(fd, sample_table)
+    weights = DiagonalNewtonLearner().learn(groundings)
+    by_combo = {g.reason_values + g.result_values: w for g, w in weights.items()}
+    assert by_combo[("BOAZ", "AL")] > by_combo[("BOAZ", "AK")]
+    # the clause objects carry the learned weight too
+    assert all(g.clause.weight == weights[g] for g in groundings)
+
+
+def test_learn_group_weights_orders_by_count():
+    counts = {"g": {("a",): 30, ("b",): 2, ("c",): 1}}
+    priors = {("a",): 0.9, ("b",): 0.06, ("c",): 0.03}
+    weights = learn_group_weights(counts, priors)
+    assert weights[("a",)] > weights[("b",)] >= weights[("c",)]
+
+
+def test_learn_group_weights_respects_max_weight():
+    config = WeightLearningConfig(max_weight=3.0)
+    counts = {"g": {("a",): 1000, ("b",): 1}}
+    weights = learn_group_weights(counts, {("a",): 0.99, ("b",): 0.01}, config)
+    assert abs(weights[("a",)]) <= 3.0
+    assert abs(weights[("b",)]) <= 3.0
+
+
+def test_learn_group_weights_empty():
+    assert learn_group_weights({}, {}) == {}
+
+
+def test_learner_converges_no_oscillation():
+    # A very skewed group used to make the undamped Newton step oscillate and
+    # give the majority γ a large negative weight; the damped learner must
+    # keep it the largest weight of the group.
+    counts = {"g": {("clean",): 84, ("d1",): 2, ("d2",): 1, ("d3",): 1, ("d4",): 2}}
+    priors = {key: count / 90 for key, count in counts["g"].items()}
+    weights = learn_group_weights(counts, priors)
+    assert weights[("clean",)] == max(weights.values())
+    assert weights[("clean",)] > 0
+
+
+# ----------------------------------------------------------------------
+# inference
+# ----------------------------------------------------------------------
+def test_exact_inference_prefers_high_weight_atom():
+    network, a, b = build_network()
+    marginals = ExactInference(network).marginals()
+    assert marginals[a] > 0.5
+    assert marginals[b] > 0.5
+
+
+def test_exact_inference_with_evidence():
+    network, a, b = build_network()
+    marginals = ExactInference(network).marginals(evidence={a: True})
+    assert set(marginals) == {b}
+
+
+def test_exact_map_state():
+    network, a, b = build_network()
+    state = ExactInference(network).map_state()
+    assert state[a] is True
+    assert state[b] is True
+
+
+def test_gibbs_close_to_exact():
+    network, a, b = build_network()
+    exact = ExactInference(network).marginals()
+    sampled = GibbsSampler(network, samples=2000, burn_in=200, seed=5).marginals()
+    assert sampled[a] == pytest.approx(exact[a], abs=0.1)
+    assert sampled[b] == pytest.approx(exact[b], abs=0.1)
+
+
+def test_gibbs_validation():
+    network, _, _ = build_network()
+    with pytest.raises(ValueError):
+        GibbsSampler(network, samples=0)
+
+
+@given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=60))
+def test_two_gamma_group_ordering_property(count_a, count_b):
+    """In a two-γ group the learned weights must order like the counts."""
+    counts = {"g": {("a",): count_a, ("b",): count_b}}
+    total = count_a + count_b
+    priors = {("a",): count_a / total, ("b",): count_b / total}
+    weights = learn_group_weights(counts, priors)
+    if count_a > count_b:
+        assert weights[("a",)] >= weights[("b",)]
+    elif count_b > count_a:
+        assert weights[("b",)] >= weights[("a",)]

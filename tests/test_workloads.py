@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.constraints.violations import is_consistent
+from repro.errors.injector import ErrorSpec
+from repro.workloads import (
+    CarWorkloadGenerator,
+    HAIWorkloadGenerator,
+    TPCHWorkloadGenerator,
+    available_workloads,
+    get_workload_generator,
+)
+
+
+@pytest.mark.parametrize(
+    "generator_cls, expected_rules",
+    [(HAIWorkloadGenerator, 7), (CarWorkloadGenerator, 2), (TPCHWorkloadGenerator, 1)],
+)
+def test_generators_produce_consistent_clean_tables(generator_cls, expected_rules):
+    workload = generator_cls(tuples=300, seed=5).build()
+    assert len(workload.clean) == 300
+    assert len(workload.rules) == expected_rules
+    assert is_consistent(workload.clean, workload.rules)
+
+
+def test_generators_are_deterministic():
+    first = HAIWorkloadGenerator(tuples=200, seed=9).build()
+    second = HAIWorkloadGenerator(tuples=200, seed=9).build()
+    assert first.clean.equals(second.clean)
+    different = HAIWorkloadGenerator(tuples=200, seed=10).build()
+    assert not first.clean.equals(different.clean)
+
+
+def test_hai_density_and_schema():
+    workload = HAIWorkloadGenerator(tuples=400, seed=1).build()
+    providers = workload.clean.domain("ProviderID")
+    assert providers.size <= 400 // 30  # dense: many rows per provider
+    assert "PhoneNumber" in workload.clean.schema
+    assert workload.recommended_threshold == 10
+
+
+def test_car_sparsity_and_acura_share():
+    workload = CarWorkloadGenerator(tuples=600, seed=1).build()
+    makes = workload.clean.column("Make")
+    acura_share = makes.count("acura") / len(makes)
+    assert 0.15 < acura_share < 0.6
+    models = workload.clean.domain("Model")
+    assert models.size > 50  # sparse: many distinct models
+    assert workload.recommended_threshold == 1
+
+
+def test_tpch_custkey_determines_address():
+    workload = TPCHWorkloadGenerator(tuples=300, seed=1).build()
+    addresses_per_key: dict[str, set[str]] = {}
+    for row in workload.clean:
+        addresses_per_key.setdefault(row["CustKey"], set()).add(row["Address"])
+    assert all(len(addresses) == 1 for addresses in addresses_per_key.values())
+
+
+def test_make_instance_injects_requested_errors(hai_workload):
+    instance = hai_workload.make_instance(ErrorSpec(error_rate=0.08, seed=2))
+    assert instance.injected_errors > 0
+    assert abs(instance.error_rate - 0.08) < 0.02
+    assert not instance.dirty.equals(instance.clean)
+    # ground truth restores the clean table exactly
+    assert instance.ground_truth.clean_table(instance.dirty).equals(instance.clean)
+
+
+def test_registry_lookup_and_errors():
+    assert set(available_workloads()) == {"hai", "car", "tpch"}
+    generator = get_workload_generator("TPC-H", tuples=100)
+    assert isinstance(generator, TPCHWorkloadGenerator)
+    assert generator.tuples == 100
+    with pytest.raises(KeyError):
+        get_workload_generator("unknown")
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        HAIWorkloadGenerator(tuples=0)
