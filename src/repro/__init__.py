@@ -19,6 +19,8 @@ Sub-packages:
   :mod:`repro.metrics` — supporting substrates,
 * :mod:`repro.baselines` — the HoloClean-style comparison baseline,
 * :mod:`repro.distributed` — the partitioned (Spark-style) MLNClean,
+* :mod:`repro.streaming` — incremental MLNClean over micro-batches of
+  tuple deltas (continuously arriving data),
 * :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators,
 * :mod:`repro.experiments` — one harness per figure/table of the paper.
 """
@@ -30,8 +32,18 @@ from repro.constraints.parser import parse_rule, parse_rules
 from repro.dataset.table import Cell, Row, Table
 from repro.errors.injector import ErrorInjector, ErrorSpec
 from repro.metrics.accuracy import evaluate_repair
+from repro.streaming import (
+    Delete,
+    DeltaBatch,
+    Insert,
+    SlidingWindow,
+    StreamingMLNClean,
+    TumblingWindow,
+    Update,
+    WorkloadStreamSource,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MLNClean",
@@ -45,5 +57,13 @@ __all__ = [
     "ErrorInjector",
     "ErrorSpec",
     "evaluate_repair",
+    "StreamingMLNClean",
+    "DeltaBatch",
+    "Insert",
+    "Update",
+    "Delete",
+    "TumblingWindow",
+    "SlidingWindow",
+    "WorkloadStreamSource",
     "__version__",
 ]

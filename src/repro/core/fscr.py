@@ -94,7 +94,7 @@ class FusionScoreResolver:
         """
         repaired = dirty.copy(name=f"{dirty.name}-repaired")
         outcome = FSCROutcome(repaired=repaired)
-        tid_versions = self._versions_by_tid(blocks)
+        tid_versions = self._versions_by_tid(blocks, set(dirty.tids))
         block_candidates = self._candidates_by_block(blocks)
 
         for tid in dirty.tids:
@@ -231,14 +231,23 @@ class FusionScoreResolver:
     # precomputed lookups
     # ------------------------------------------------------------------
     @staticmethod
-    def _versions_by_tid(blocks: list[Block]) -> dict[int, list[tuple[Block, DataPiece]]]:
-        """For each tuple, its post-Stage-I γ in every block that covers it."""
+    def _versions_by_tid(
+        blocks: list[Block], tids: Optional[set[int]] = None
+    ) -> dict[int, list[tuple[Block, DataPiece]]]:
+        """For each tuple, its post-Stage-I γ in every block that covers it.
+
+        ``tids`` restricts the map to the tuples being resolved — the
+        streaming engine fuses small affected subsets against blocks that
+        index the whole retained table, so building versions for every
+        indexed tuple would scale with table size instead of subset size.
+        """
         versions: dict[int, list[tuple[Block, DataPiece]]] = {}
         for block in blocks:
             for group in block.group_list:
                 for piece in group.gammas:
                     for tid in piece.tids:
-                        versions.setdefault(tid, []).append((block, piece))
+                        if tids is None or tid in tids:
+                            versions.setdefault(tid, []).append((block, piece))
         return versions
 
     @staticmethod

@@ -13,7 +13,7 @@ Index construction is lines 1-13 of Algorithm 1 and costs
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from typing import Optional
 
 from repro.constraints.rules import Rule
@@ -66,6 +66,19 @@ class DataPiece:
     def add_tuple(self, tid: int) -> None:
         self.tids.append(tid)
 
+    def remove_tuple(self, tid: int) -> bool:
+        """Detach one tuple from the γ; returns whether it was present.
+
+        Only the first occurrence is removed — a tuple legitimately appears
+        once per γ, so this keeps the support count ``c(γ)`` consistent under
+        incremental deletions.
+        """
+        try:
+            self.tids.remove(tid)
+        except ValueError:
+            return False
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DataPiece({self.rule.name}, {self.as_assignment()!r}, "
@@ -90,6 +103,28 @@ class Group:
             self.pieces[piece.key] = piece
         else:
             existing.tids.extend(piece.tids)
+
+    def remove_piece(
+        self, key: tuple[tuple[str, ...], tuple[str, ...]]
+    ) -> DataPiece:
+        """Detach and return one γ by its (reason, result) identity."""
+        return self.pieces.pop(key)
+
+    def remove_tuple(
+        self, tid: int, key: tuple[tuple[str, ...], tuple[str, ...]]
+    ) -> Optional[DataPiece]:
+        """Detach a tuple from the γ identified by ``key``.
+
+        Returns the γ the tuple was detached from (``None`` when no such γ
+        holds the tuple); γs whose last tuple was removed are dropped from
+        the group, so a returned γ may have support zero.
+        """
+        piece = self.pieces.get(key)
+        if piece is None or not piece.remove_tuple(tid):
+            return None
+        if piece.support == 0:
+            self.remove_piece(key)
+        return piece
 
     @property
     def gammas(self) -> list[DataPiece]:
@@ -153,6 +188,21 @@ class Block:
         """The rule's attributes (reason first, then result)."""
         return self.rule.reason_attributes + self.rule.result_attributes
 
+    def gamma_key(
+        self, values: Mapping[str, str]
+    ) -> Optional[tuple[tuple[str, ...], tuple[str, ...]]]:
+        """The (reason, result) identity a tuple with ``values`` maps to.
+
+        ``None`` when the rule does not cover the tuple (e.g. a CFD whose
+        condition values do not match).
+        """
+        if not self.rule.covers(values):
+            return None
+        return (
+            tuple(values[a] for a in self.rule.reason_attributes),
+            tuple(values[a] for a in self.rule.result_attributes),
+        )
+
     def add_tuple(self, tid: int, values: dict[str, str]) -> Optional[DataPiece]:
         """Insert one tuple's γ; returns it, or ``None`` if the rule skips it."""
         if not self.rule.covers(values):
@@ -185,6 +235,46 @@ class Block:
     def remove_group(self, key: tuple[str, ...]) -> Group:
         """Detach and return a group (AGP does this when merging)."""
         return self.groups.pop(key)
+
+    def remove_tuple(self, tid: int, values: Mapping[str, str]) -> Optional[DataPiece]:
+        """Detach a tuple whose current values are ``values`` from its γ.
+
+        The γ is located directly through the values (no scan); empty γs and
+        groups are dropped so support counts stay exact under deletions.
+        Returns the γ the tuple was detached from (``None`` if the rule does
+        not cover the tuple or the γ does not hold it).
+        """
+        key = self.gamma_key(values)
+        if key is None:
+            return None
+        group = self.groups.get(key[0])
+        if group is None:
+            return None
+        piece = group.remove_tuple(tid, key)
+        if piece is not None and not group.pieces:
+            del self.groups[key[0]]
+        return piece
+
+    def update_tuple(
+        self,
+        tid: int,
+        old_values: Mapping[str, str],
+        new_values: dict[str, str],
+    ) -> tuple[Optional[DataPiece], Optional[DataPiece]]:
+        """Re-home a tuple whose values changed from ``old_values``.
+
+        Removes the tuple from the γ its old values map to and inserts it
+        into the γ of its new values (creating groups/γs as needed); returns
+        ``(old_piece, new_piece)``.  A no-op on both sides when the value
+        change does not touch the rule's γ identity.
+        """
+        old_key = self.gamma_key(old_values)
+        new_key = self.gamma_key(new_values)
+        if old_key == new_key:
+            return (None, None)
+        old_piece = self.remove_tuple(tid, old_values)
+        new_piece = self.add_tuple(tid, new_values)
+        return (old_piece, new_piece)
 
     def group_of_tid(self, tid: int) -> Optional[Group]:
         """The group currently holding a tuple (``None`` if not covered)."""
@@ -233,6 +323,41 @@ class MLNIndex:
 
     def block(self, rule_name: str) -> Block:
         return self.blocks[rule_name]
+
+    # ------------------------------------------------------------------
+    # incremental maintenance hooks (used by repro.streaming)
+    # ------------------------------------------------------------------
+    def add_tuple(self, tid: int, values: dict[str, str]) -> dict[str, DataPiece]:
+        """Insert one tuple into every covering block; γs created per block."""
+        touched: dict[str, DataPiece] = {}
+        for name, block in self.blocks.items():
+            piece = block.add_tuple(tid, values)
+            if piece is not None:
+                touched[name] = piece
+        return touched
+
+    def remove_tuple(self, tid: int, values: Mapping[str, str]) -> dict[str, DataPiece]:
+        """Detach one tuple (with its current values) from every block."""
+        touched: dict[str, DataPiece] = {}
+        for name, block in self.blocks.items():
+            piece = block.remove_tuple(tid, values)
+            if piece is not None:
+                touched[name] = piece
+        return touched
+
+    def update_tuple(
+        self,
+        tid: int,
+        old_values: Mapping[str, str],
+        new_values: dict[str, str],
+    ) -> dict[str, tuple[Optional[DataPiece], Optional[DataPiece]]]:
+        """Re-home one tuple in every block where its γ identity changed."""
+        touched: dict[str, tuple[Optional[DataPiece], Optional[DataPiece]]] = {}
+        for name, block in self.blocks.items():
+            old_piece, new_piece = block.update_tuple(tid, old_values, new_values)
+            if old_piece is not None or new_piece is not None:
+                touched[name] = (old_piece, new_piece)
+        return touched
 
     def __len__(self) -> int:
         return len(self.blocks)

@@ -147,6 +147,15 @@ class Table:
         return list(self._rows.keys())
 
     @property
+    def next_tid(self) -> int:
+        """The id :meth:`append` would auto-assign to the next tuple.
+
+        Monotone over the table's lifetime (removals do not release ids), so
+        callers can pre-validate batched inserts against it.
+        """
+        return self._next_tid
+
+    @property
     def rows(self) -> list[Row]:
         """Rows in insertion order."""
         return list(self._rows.values())

@@ -20,6 +20,10 @@ Registry keys follow the paper's numbering::
     fig15  distributed MLNClean vs error percentage
     table05  F1 under different distance metrics
     table06  distributed runtime vs number of workers
+
+plus post-paper capability studies::
+
+    streaming  incremental micro-batch cleaning vs naive full re-clean
 """
 
 from repro.experiments.harness import (
@@ -48,6 +52,7 @@ from repro.experiments.ablation import (
     ablation_partitioner,
     ablation_reliability_score,
 )
+from repro.experiments.streaming import streaming_incremental
 
 #: experiment id -> harness callable (all accept ``tuples`` and ``seed``)
 EXPERIMENTS = {
@@ -66,6 +71,7 @@ EXPERIMENTS = {
     "ablation_rscore": ablation_reliability_score,
     "ablation_fscr": ablation_fscr_minimality,
     "ablation_partition": ablation_partitioner,
+    "streaming": streaming_incremental,
 }
 
 __all__ = [
@@ -90,4 +96,5 @@ __all__ = [
     "ablation_reliability_score",
     "ablation_fscr_minimality",
     "ablation_partitioner",
+    "streaming_incremental",
 ]

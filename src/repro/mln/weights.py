@@ -82,18 +82,69 @@ def learn_group_weights(
                 keys.append(key)
     if not keys:
         return {}
+
+    # Groups that share no γ key have fully independent likelihoods (a key's
+    # gradient only ever involves its own group), so each such component is
+    # converged separately.  This keeps a group's learned weights bit-stable
+    # when *other* groups of the block change — without it, every group
+    # would step for the same globally determined number of iterations and a
+    # local change would perturb all weights of the block.  The incremental
+    # engine (repro.streaming) relies on this stability to re-fuse only the
+    # tuples whose weights actually moved.
+    weights: dict[tuple, float] = {}
+    for component in _key_disjoint_components(group_counts):
+        weights.update(_learn_component(component, priors, config))
+    return {key: weights[key] for key in keys}
+
+
+def _key_disjoint_components(
+    group_counts: Mapping[str, Mapping[tuple, int]],
+) -> list[list[Mapping[tuple, int]]]:
+    """Partition the groups into components connected by shared γ keys."""
+    components: list[list[Mapping[tuple, int]]] = []
+    component_of_key: dict[tuple, int] = {}
+    for counts in group_counts.values():
+        if not counts:
+            continue
+        touched = sorted({component_of_key[k] for k in counts if k in component_of_key})
+        if not touched:
+            index = len(components)
+            components.append([counts])
+        else:
+            # merge every touched component into the first one
+            index = touched[0]
+            components[index].append(counts)
+            for other in touched[1:]:
+                for moved in components[other]:
+                    components[index].append(moved)
+                    for key in moved:
+                        component_of_key[key] = index
+                components[other] = []
+        for key in counts:
+            component_of_key[key] = index
+    return [component for component in components if component]
+
+
+def _learn_component(
+    component: list[Mapping[tuple, int]],
+    priors: Mapping[tuple, float],
+    config: WeightLearningConfig,
+) -> dict[tuple, float]:
+    """Damped diagonal-Newton iteration over one key-connected component."""
+    keys: list[tuple] = []
+    for counts in component:
+        for key in counts:
+            if key not in keys:
+                keys.append(key)
     weights = {key: float(priors.get(key, 0.0)) for key in keys}
 
     for _ in range(config.max_iterations):
         gradient = {key: 0.0 for key in keys}
         hessian = {key: 0.0 for key in keys}
-        for counts in group_counts.values():
-            group_keys = list(counts.keys())
-            if not group_keys:
-                continue
+        for counts in component:
             total = sum(counts.values())
-            probabilities = _softmax({k: weights[k] for k in group_keys})
-            for key in group_keys:
+            probabilities = _softmax({k: weights[k] for k in counts})
+            for key in counts:
                 p = probabilities[key]
                 gradient[key] += counts[key] - total * p
                 hessian[key] += total * p * (1.0 - p)

@@ -17,7 +17,11 @@ from repro.workloads.base import Workload, WorkloadInstance
 from repro.workloads.hai import HAIWorkloadGenerator
 from repro.workloads.car import CarWorkloadGenerator
 from repro.workloads.tpch import TPCHWorkloadGenerator
-from repro.workloads.registry import get_workload_generator, available_workloads
+from repro.workloads.registry import (
+    available_workloads,
+    get_workload_generator,
+    register_workload,
+)
 
 __all__ = [
     "Workload",
@@ -27,4 +31,5 @@ __all__ = [
     "TPCHWorkloadGenerator",
     "get_workload_generator",
     "available_workloads",
+    "register_workload",
 ]

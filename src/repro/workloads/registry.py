@@ -2,7 +2,9 @@
 
 The experiment harness and the benchmarks refer to datasets by the names the
 paper uses ("CAR", "HAI", "TPC-H"); this registry maps those names to the
-generator classes with sensible default sizes.
+generator classes with sensible default sizes.  Additional workloads (e.g.
+the streaming demo datasets of :mod:`repro.streaming.source`) plug in
+through :func:`register_workload` instead of editing this module.
 """
 
 from __future__ import annotations
@@ -22,9 +24,38 @@ _GENERATORS: dict[str, Type[WorkloadGenerator]] = {
 }
 
 
+def register_workload(name: str, generator_cls: Type[WorkloadGenerator]) -> None:
+    """Register a generator class under ``name`` (case-insensitive).
+
+    Re-registering a name with the same class is a no-op (so modules can
+    register on import safely); rebinding a name to a different class is an
+    error — aliases of one class remain allowed.
+    """
+    key = name.lower()
+    if not issubclass(generator_cls, WorkloadGenerator):
+        raise TypeError(f"{generator_cls!r} is not a WorkloadGenerator subclass")
+    existing = _GENERATORS.get(key)
+    if existing is not None and existing is not generator_cls:
+        raise ValueError(
+            f"workload {name!r} is already registered to {existing.__name__}"
+        )
+    _GENERATORS[key] = generator_cls
+
+
 def available_workloads() -> list[str]:
-    """Canonical workload names."""
-    return ["hai", "car", "tpch"]
+    """Canonical workload names, in registration order.
+
+    Aliases pointing at an already-listed generator class ("tpc-h" for
+    "tpch") are collapsed onto the first name registered for that class.
+    """
+    names: list[str] = []
+    seen: set[Type[WorkloadGenerator]] = set()
+    for name, generator_cls in _GENERATORS.items():
+        if generator_cls in seen:
+            continue
+        seen.add(generator_cls)
+        names.append(name)
+    return names
 
 
 def get_workload_generator(

@@ -42,6 +42,13 @@ def test_distributed_tpch_example(monkeypatch, capsys):
     assert "workers" in output
 
 
+def test_streaming_clean_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "streaming_clean.py", ["200", "50"])
+    assert "Streaming 200 HAI tuples" in output
+    assert "late correction" in output
+    assert "matches batch MLNClean: True" in output
+
+
 def test_examples_directory_contains_expected_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {
@@ -49,4 +56,5 @@ def test_examples_directory_contains_expected_scripts():
         "hospital_cleaning.py",
         "car_error_types.py",
         "distributed_tpch.py",
+        "streaming_clean.py",
     } <= names
