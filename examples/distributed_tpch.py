@@ -1,9 +1,12 @@
 """Distributed MLNClean on the TPC-H workload (Section 6 / Table 6).
 
-Partitions a synthetic TPC-H join with Algorithm 3, cleans each partition on
+Runs a :class:`repro.CleaningSession` on the "distributed" backend:
+partitions a synthetic TPC-H join with Algorithm 3, cleans each partition on
 a simulated worker, fuses the per-partition Markov weights with Eq. 6, and
 resolves conflicts globally — then repeats with different worker counts to
-show the runtime/accuracy trade-off the paper reports in Table 6.
+show the runtime/accuracy trade-off the paper reports in Table 6.  The
+distributed drill-down (partition sizes, speedup) stays reachable through
+``report.details``.
 
 Run with::
 
@@ -12,8 +15,7 @@ Run with::
 
 import sys
 
-from repro.core.config import MLNCleanConfig
-from repro.distributed import DistributedMLNClean
+from repro import CleaningSession
 from repro.errors import ErrorSpec
 from repro.workloads import TPCHWorkloadGenerator
 
@@ -24,18 +26,26 @@ def main(tuples: int = 3000) -> None:
     instance = workload.make_instance(ErrorSpec(error_rate=0.05))
     print(f"Injected {instance.injected_errors} errors\n")
 
-    config = MLNCleanConfig.for_dataset("tpch")
     header = f"{'workers':>7}  {'parallel_s':>10}  {'sequential_s':>12}  {'speedup':>7}  {'F1':>6}"
     print(header)
     print("-" * len(header))
     for workers in (2, 4, 8):
-        driver = DistributedMLNClean(workers=workers, config=config)
-        report = driver.clean(instance.dirty, instance.rules, instance.ground_truth)
-        print(
-            f"{workers:>7}  {report.runtime:>10.2f}  {report.sequential_runtime:>12.2f}  "
-            f"{report.speedup:>7.2f}  {report.f1:>6.3f}"
+        session = (
+            CleaningSession.builder()
+            .with_rules(instance.rules)
+            .for_workload("tpch")
+            .with_backend("distributed", workers=workers)
+            .with_table(instance.dirty)
+            .with_ground_truth(instance.ground_truth)
+            .build()
         )
-        sizes = report.partition.sizes
+        report = session.run()
+        details = report.details
+        print(
+            f"{workers:>7}  {details.runtime:>10.2f}  {details.sequential_runtime:>12.2f}  "
+            f"{details.speedup:>7.2f}  {report.f1:>6.3f}"
+        )
+        sizes = details.partition.sizes
         print(f"         partition sizes: {sizes}")
 
 

@@ -2,8 +2,9 @@
 
 This example mirrors the paper's main comparison (Figure 6) on one
 configuration: a HAI-like table with the seven Table-4 constraints, 5 %
-injected errors (half typos, half replacement errors), cleaned by MLNClean
-and by the HoloClean-style baseline with perfect error detection.
+injected errors (half typos, half replacement errors), cleaned through a
+:class:`repro.CleaningSession` (batch backend) and by the HoloClean-style
+baseline with perfect error detection.
 
 Run with::
 
@@ -12,7 +13,7 @@ Run with::
 
 import sys
 
-from repro import MLNClean, MLNCleanConfig
+from repro import CleaningSession
 from repro.baselines import HoloCleanBaseline
 from repro.errors import ErrorSpec
 from repro.workloads import HAIWorkloadGenerator
@@ -31,9 +32,17 @@ def main(tuples: int = 2000) -> None:
         f"({instance.error_rate:.1%} of all attribute values)\n"
     )
 
-    config = MLNCleanConfig.for_dataset("hai")
-    print(f"Running MLNClean (tau={config.abnormal_threshold}) ...")
-    report = MLNClean(config).clean(instance.dirty, instance.rules, instance.ground_truth)
+    session = (
+        CleaningSession.builder()
+        .with_rules(instance.rules)
+        .for_workload("hai")
+        .with_backend("batch")
+        .with_table(instance.dirty)
+        .with_ground_truth(instance.ground_truth)
+        .build()
+    )
+    print(f"Running MLNClean (tau={session.config.abnormal_threshold}) ...")
+    report = session.run()
     print(report.describe())
     print()
 

@@ -1,33 +1,41 @@
-"""Quickstart: clean the paper's six-tuple hospital sample with MLNClean.
+"""Quickstart: clean the paper's six-tuple hospital sample with a session.
 
 This walks through the exact running example of the paper (Table 1 and the
-rules r1-r3 of Example 1): the typo ``DOTH``, the replacement errors of tuple
-t3, the wrong state of t4 and the duplicates t1/t2 and t3..t6 are all cleaned
-by the two-stage pipeline.
+rules r1-r3 of Example 1) using the unified :class:`repro.CleaningSession`
+API: the typo ``DOTH``, the replacement errors of tuple t3, the wrong state
+of t4 and the duplicates t1/t2 and t3..t6 are all cleaned by the two-stage
+pipeline behind the session's default "batch" backend.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import MLNClean, MLNCleanConfig
+from repro import CleaningSession
 from repro.dataset.sample import sample_hospital_rules, sample_hospital_table
 
 
 def main() -> None:
-    dirty = sample_hospital_table()
-    rules = sample_hospital_rules()
+    session = (
+        CleaningSession.builder()
+        .with_rules(sample_hospital_rules())
+        .with_config(abnormal_threshold=1)
+        .with_backend("batch")
+        .build()
+    )
+    dirty = session.load_table(sample_hospital_table())
 
+    print(session.describe())
+    print()
     print("Integrity constraints:")
-    for rule in rules:
+    for rule in session.rules:
         print(f"  {rule.name} ({rule.kind}): {rule}")
     print()
     print("Dirty input (Table 1 of the paper):")
     print(dirty.to_pretty_string())
     print()
 
-    cleaner = MLNClean(MLNCleanConfig(abnormal_threshold=1))
-    report = cleaner.clean(dirty, rules)
+    report = session.run()
 
     print("Repaired table (before duplicate elimination):")
     print(report.repaired.to_pretty_string())

@@ -1,13 +1,13 @@
 """Streaming: clean a continuously arriving workload in micro-batches.
 
-A :class:`~repro.streaming.source.WorkloadStreamSource` replays a corrupted
-HAI workload as insert micro-batches; :class:`~repro.streaming.cleaner.StreamingMLNClean`
-applies each batch incrementally — maintaining the MLN index per delta,
-re-running Stage I only on the blocks the batch dirtied and Stage II only
-for the tuples whose fusion inputs changed.  After the stream drains, a
-batch of localized corrections arrives, and finally the streamed result is
-checked against a from-scratch batch MLNClean run over the same table: the
-two cleaned tables are identical.
+A :class:`repro.CleaningSession` on the "streaming" backend replays a
+corrupted HAI workload as insert micro-batches through the incremental
+engine — maintaining the MLN index per delta, re-running Stage I only on
+the blocks each batch dirtied and Stage II only for the tuples whose fusion
+inputs changed.  The engine stays alive on the backend after the run, so a
+late batch of corrections is applied incrementally too.  Finally the
+streamed result is checked against the same session re-run on the "batch"
+backend: the two cleaned tables are identical.
 
 Run with::
 
@@ -16,9 +16,8 @@ Run with::
 
 import sys
 
-from repro import MLNClean, MLNCleanConfig, StreamingMLNClean
+from repro import CleaningSession, DeltaBatch, Update, WorkloadStreamSource
 from repro.errors.injector import ErrorSpec
-from repro.streaming import DeltaBatch, Update, WorkloadStreamSource
 
 
 def main() -> None:
@@ -31,12 +30,21 @@ def main() -> None:
         batch_size=batch_size,
         error_spec=ErrorSpec(error_rate=0.05),
     )
-    config = MLNCleanConfig.for_dataset("hai")
-    engine = StreamingMLNClean(source.rules, source.schema, config=config)
+    session = (
+        CleaningSession.builder()
+        .with_rules(source.rules)
+        .for_workload("hai")
+        .with_backend("streaming", batch_size=batch_size)
+        .with_table(source.dirty)
+        .with_ground_truth(source.ground_truth)
+        .build()
+    )
 
     print(f"Streaming {tuples} HAI tuples in micro-batches of {batch_size}:")
-    for report in engine.consume(source):
-        print("  " + report.describe())
+    report = session.run()
+    engine = session.backend.engine
+    print(f"  batches applied: {engine.batches_applied}")
+    print("  " + report.describe().replace("\n", "\n  "))
     print()
 
     tid = engine.dirty.tids[0]
@@ -45,7 +53,10 @@ def main() -> None:
     print("  " + engine.apply_batch(correction).describe())
     print()
 
-    reference = MLNClean(config).clean(engine.dirty.copy(), source.rules)
+    batch_session = CleaningSession(
+        rules=session.rules, config=session.config, backend="batch"
+    )
+    reference = batch_session.run(engine.dirty.copy())
     same = engine.cleaned.equals(reference.cleaned)
     print(f"Streamed result matches batch MLNClean: {same}")
     accuracy = engine.accuracy()

@@ -1,17 +1,34 @@
 """MLNClean reproduction: a hybrid data cleaning framework on Markov logic networks.
 
 The package reproduces "A Hybrid Data Cleaning Framework Using Markov Logic
-Networks" (Gao et al., ICDE 2021 / arXiv:1903.05826).  The public API most
-users need is re-exported here::
+Networks" (Gao et al., ICDE 2021 / arXiv:1903.05826) and grows it toward a
+production-style system.  The recommended entry point is the unified session
+API — one facade over every execution mode::
 
-    from repro import MLNClean, MLNCleanConfig, Table, parse_rules
+    from repro import CleaningSession
 
-    cleaner = MLNClean(MLNCleanConfig(abnormal_threshold=1))
-    report = cleaner.clean(dirty_table, rules)
+    session = (
+        CleaningSession.builder()
+        .with_rules("CT -> ST", "HN, PN -> CT")
+        .with_config(abnormal_threshold=1)
+        .with_backend("batch")        # or "distributed" / "streaming"
+        .build()
+    )
+    session.load_table(dirty_rows)    # Table, dict rows, or a CSV path
+    report = session.run()
     print(report.describe())
+
+Every backend returns the same :class:`~repro.core.report.CleaningReport`
+(cleaned table, per-stage timings, accuracy when a ground truth is
+attached); new backends and pipeline stages plug in through
+:func:`~repro.session.register_backend` / :func:`~repro.session.register_stage`.
+The pre-session entry points (``MLNClean``, ``DistributedMLNClean``,
+``StreamingMLNClean``) remain available as thin paths onto the same engines.
 
 Sub-packages:
 
+* :mod:`repro.session` — the :class:`CleaningSession` facade, execution
+  backends, and the pluggable stage registry,
 * :mod:`repro.core` — the MLNClean pipeline (MLN index, AGP, RSC, FSCR),
 * :mod:`repro.constraints` — FD / CFD / DC rules and the rule parser,
 * :mod:`repro.mln` — the Markov-logic substrate (grounding, weights, inference),
@@ -21,7 +38,8 @@ Sub-packages:
 * :mod:`repro.distributed` — the partitioned (Spark-style) MLNClean,
 * :mod:`repro.streaming` — incremental MLNClean over micro-batches of
   tuple deltas (continuously arriving data),
-* :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators,
+* :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators
+  and the workload registry (names, sizes, recommended configs),
 * :mod:`repro.experiments` — one harness per figure/table of the paper.
 """
 
@@ -32,6 +50,19 @@ from repro.constraints.parser import parse_rule, parse_rules
 from repro.dataset.table import Cell, Row, Table
 from repro.errors.injector import ErrorInjector, ErrorSpec
 from repro.metrics.accuracy import evaluate_repair
+from repro.session import (
+    CleaningSession,
+    ExecutionBackend,
+    Session,
+    SessionBuilder,
+    available_backends,
+    available_stages,
+    load_rules,
+    load_table,
+    register_backend,
+    register_stage,
+)
+from repro.distributed import DistributedMLNClean
 from repro.streaming import (
     Delete,
     DeltaBatch,
@@ -43,9 +74,19 @@ from repro.streaming import (
     WorkloadStreamSource,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CleaningSession",
+    "Session",
+    "SessionBuilder",
+    "ExecutionBackend",
+    "load_table",
+    "load_rules",
+    "register_backend",
+    "available_backends",
+    "register_stage",
+    "available_stages",
     "MLNClean",
     "MLNCleanConfig",
     "CleaningReport",
@@ -57,6 +98,7 @@ __all__ = [
     "ErrorInjector",
     "ErrorSpec",
     "evaluate_repair",
+    "DistributedMLNClean",
     "StreamingMLNClean",
     "DeltaBatch",
     "Insert",

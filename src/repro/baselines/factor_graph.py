@@ -22,7 +22,7 @@ import math
 import random
 from collections import Counter, defaultdict
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constraints.rules import (
     ConditionalFunctionalDependency,

@@ -20,7 +20,6 @@ paper — are deliberately preserved:
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional

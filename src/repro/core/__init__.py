@@ -22,6 +22,14 @@ from repro.core.rsc import ReliabilityScoreCleaner, RSCOutcome
 from repro.core.fscr import FusionScoreResolver, FSCROutcome
 from repro.core.dedup import remove_duplicates
 from repro.core.report import CleaningReport
+from repro.core.stages import (
+    DEFAULT_STAGES,
+    Stage,
+    StageContext,
+    available_stages,
+    get_stage,
+    register_stage,
+)
 from repro.core.pipeline import MLNClean
 
 __all__ = [
@@ -38,5 +46,11 @@ __all__ = [
     "FSCROutcome",
     "remove_duplicates",
     "CleaningReport",
+    "Stage",
+    "StageContext",
+    "DEFAULT_STAGES",
+    "register_stage",
+    "available_stages",
+    "get_stage",
     "MLNClean",
 ]

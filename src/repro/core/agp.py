@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.config import MLNCleanConfig
-from repro.core.index import Block, Group
+from repro.core.index import Block
 from repro.distance.base import DistanceMetric
 from repro.metrics.component import StageCounts
 

@@ -15,7 +15,6 @@ Every parameter the paper varies in its experiments is exposed here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.distance.base import DistanceMetric, get_metric
 from repro.mln.weights import WeightLearningConfig
@@ -71,10 +70,12 @@ class MLNCleanConfig:
         """The per-dataset defaults used by the paper's experiments.
 
         The paper fixes τ = 1 on CAR and τ = 10 on HAI (Section 7.3.1) after
-        the threshold study; TPC-H follows HAI.  Unknown names fall back to
-        the global defaults.
+        the threshold study; TPC-H follows HAI.  The values live with the
+        workload registrations (each generator declares its
+        ``recommended_threshold``), so this just delegates to
+        :func:`repro.workloads.registry.recommended_config`.  Unknown names
+        fall back to the global defaults with a warning.
         """
-        thresholds = {"car": 1, "hai": 10, "tpch": 2, "hospital-sample": 1}
-        threshold = thresholds.get(dataset.lower(), 1)
-        config = cls(abnormal_threshold=threshold)
-        return replace(config, **overrides) if overrides else config
+        from repro.workloads.registry import recommended_config
+
+        return recommended_config(dataset, **overrides)

@@ -13,6 +13,12 @@
         ▼
     clean table (+ report)
 
+The stage sequence is pluggable: each step is a registered
+:class:`~repro.core.stages.Stage` and the default order is
+:data:`~repro.core.stages.DEFAULT_STAGES`.  A caller (usually a
+:class:`~repro.session.CleaningSession`) may reorder, disable, or extend the
+stages by passing an explicit stage-name sequence.
+
 The pipeline can run *instrumented*: when the caller supplies the ground
 truth of the injected errors, the per-stage component metrics (Figures 8-14)
 and the overall repair accuracy (Eq. 7) are computed alongside the cleaning
@@ -26,13 +32,10 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.constraints.rules import Rule
-from repro.core.agp import AbnormalGroupProcessor
 from repro.core.config import MLNCleanConfig
-from repro.core.dedup import remove_duplicates
-from repro.core.fscr import FusionScoreResolver
 from repro.core.index import MLNIndex
 from repro.core.report import CleaningReport
-from repro.core.rsc import ReliabilityScoreCleaner
+from repro.core.stages import StageContext, build_stages
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import evaluate_repair
@@ -47,10 +50,20 @@ class MLNClean:
         cleaner = MLNClean(MLNCleanConfig(abnormal_threshold=1))
         report = cleaner.clean(dirty_table, rules)
         clean_table = report.cleaned
+
+    ``stages`` overrides the Algorithm-1 stage order with an explicit
+    sequence of registered stage names (see :mod:`repro.core.stages`);
+    ``None`` keeps the paper's AGP → RSC → FSCR → dedup sequence, with the
+    dedup stage honouring ``config.remove_duplicates``.
     """
 
-    def __init__(self, config: Optional[MLNCleanConfig] = None):
+    def __init__(
+        self,
+        config: Optional[MLNCleanConfig] = None,
+        stages: Optional[Sequence[str]] = None,
+    ):
         self.config = config or MLNCleanConfig()
+        self.stages = list(stages) if stages is not None else None
 
     def clean(
         self,
@@ -68,38 +81,30 @@ class MLNClean:
             raise ValueError("MLNClean needs at least one integrity constraint")
         timings = TimingBreakdown()
         instrument = self.config.instrument and ground_truth is not None
-        clean_lookup = None
-        dirty_cells = None
+        context = StageContext(dirty=dirty, rules=list(rules), config=self.config)
         if instrument:
             clean_reference = ground_truth.clean_table(dirty)
-            clean_lookup = lambda tid: clean_reference.row(tid).as_dict()  # noqa: E731
-            dirty_cells = ground_truth.dirty_cells
+
+            def clean_lookup(tid: int) -> dict[str, str]:
+                return clean_reference.row(tid).as_dict()
+
+            context.clean_lookup = clean_lookup
+            context.dirty_cells = ground_truth.dirty_cells
 
         # Pre-processing: MLN index construction (lines 1-13 of Algorithm 1).
         with timings.time("index"):
             index = MLNIndex.build(dirty, rules)
+            context.blocks = index.block_list
 
-        # Stage I: AGP then RSC per block (lines 14-17).
-        agp = AbnormalGroupProcessor(self.config)
-        rsc = ReliabilityScoreCleaner(self.config)
-        with timings.time("agp"):
-            agp_outcome = agp.process_index(index.block_list, clean_lookup)
-        with timings.time("rsc"):
-            rsc_outcome = rsc.clean_index(index.block_list, clean_lookup)
+        # The stage sequence (Stage I lines 14-17, Stage II line 18 + dedup).
+        for stage in build_stages(self.stages, self.config):
+            with timings.time(stage.name):
+                stage.run(context)
 
-        # Stage II: FSCR across data versions (line 18), then deduplication.
-        fscr = FusionScoreResolver(self.config)
-        with timings.time("fscr"):
-            fscr_outcome = fscr.resolve(
-                dirty, index.block_list, clean_lookup, dirty_cells
-            )
-        repaired = fscr_outcome.repaired
-        dedup_result = None
-        cleaned = repaired
-        if self.config.remove_duplicates:
-            with timings.time("dedup"):
-                dedup_result = remove_duplicates(repaired)
-            cleaned = dedup_result.deduplicated
+        repaired = context.repaired if context.repaired is not None else dirty.copy(
+            name=f"{dirty.name}-repaired"
+        )
+        cleaned = context.cleaned if context.cleaned is not None else repaired
 
         accuracy = None
         if instrument:
@@ -110,11 +115,12 @@ class MLNClean:
             repaired=repaired,
             cleaned=cleaned,
             timings=timings,
-            agp=agp_outcome,
-            rsc=rsc_outcome,
-            fscr=fscr_outcome,
-            dedup=dedup_result,
+            agp=context.outcomes.get("agp"),
+            rsc=context.outcomes.get("rsc"),
+            fscr=context.outcomes.get("fscr"),
+            dedup=context.dedup,
             accuracy=accuracy,
+            backend="batch",
         )
 
     def clean_table(self, dirty: Table, rules: Sequence[Rule]) -> Table:

@@ -42,6 +42,13 @@ class CleaningReport:
     dedup: Optional[DeduplicationResult] = None
     #: overall repair accuracy (only in instrumented runs)
     accuracy: Optional[RepairAccuracy] = None
+    #: name of the execution backend that produced the report
+    #: ("batch", "distributed", "streaming", ...)
+    backend: Optional[str] = None
+    #: backend-specific drill-down (e.g. the full
+    #: :class:`~repro.distributed.driver.DistributedReport` of a distributed
+    #: run); ``None`` for the batch pipeline
+    details: Optional[object] = None
 
     @property
     def runtime(self) -> float:
@@ -86,7 +93,8 @@ class CleaningReport:
     def describe(self) -> str:
         """A short human-readable report (used by the examples)."""
         lines = [
-            f"tuples: {len(self.dirty)} in, {len(self.cleaned)} out",
+            f"tuples: {len(self.dirty)} in, {len(self.cleaned)} out"
+            + (f" (backend: {self.backend})" if self.backend else ""),
             f"runtime: {self.runtime:.3f}s "
             f"({', '.join(f'{k}={v:.3f}s' for k, v in self.timings.phases.items())})",
         ]

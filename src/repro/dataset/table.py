@@ -9,7 +9,6 @@ key on those cell addresses.
 
 from __future__ import annotations
 
-import copy as _copy
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Callable, Optional

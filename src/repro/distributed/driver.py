@@ -31,6 +31,7 @@ from repro.core.config import MLNCleanConfig
 from repro.core.dedup import DeduplicationResult, remove_duplicates
 from repro.core.fscr import FusionScoreResolver
 from repro.core.index import Block, MLNIndex
+from repro.core.report import CleaningReport
 from repro.core.rsc import ReliabilityScoreCleaner
 from repro.dataset.table import Table
 from repro.distributed.executor import SimulatedCluster
@@ -93,6 +94,28 @@ class DistributedReport:
     @property
     def f1(self) -> float:
         return self.accuracy.f1 if self.accuracy is not None else 0.0
+
+    def as_cleaning_report(self) -> "CleaningReport":
+        """This run in the unified :class:`~repro.core.report.CleaningReport` shape.
+
+        Driver phases keep their names; the simulated worker makespan is
+        recorded as one ``workers`` phase so ``report.runtime`` equals the
+        simulated parallel runtime.  The full distributed drill-down
+        (partitioning, speedup, per-worker numbers) stays reachable through
+        ``report.details``.
+        """
+        timings = TimingBreakdown(dict(self.driver_timings.phases))
+        timings.record("workers", self.makespan_seconds)
+        return CleaningReport(
+            dirty=self.dirty,
+            repaired=self.repaired,
+            cleaned=self.cleaned,
+            timings=timings,
+            dedup=self.dedup,
+            accuracy=self.accuracy,
+            backend="distributed",
+            details=self,
+        )
 
 
 class DistributedMLNClean:

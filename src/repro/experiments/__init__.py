@@ -32,6 +32,7 @@ from repro.experiments.harness import (
     run_holoclean,
     run_mlnclean,
     prepare_instance,
+    session_for_instance,
 )
 from repro.experiments.comparison import fig06_error_percentage, fig07_error_type_ratio
 from repro.experiments.threshold import (
@@ -79,6 +80,7 @@ __all__ = [
     "ExperimentResult",
     "SystemRun",
     "prepare_instance",
+    "session_for_instance",
     "run_mlnclean",
     "run_holoclean",
     "fig06_error_percentage",

@@ -25,7 +25,6 @@ from repro.core.rsc import ReliabilityScoreCleaner
 from repro.distributed.driver import DistributedMLNClean
 from repro.distributed.partition import DataPartitioner, hash_partition
 from repro.experiments.harness import ExperimentResult, prepare_instance, run_mlnclean
-from repro.metrics.accuracy import evaluate_repair
 
 
 def ablation_fscr_minimality(

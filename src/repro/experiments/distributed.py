@@ -17,11 +17,11 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.core.config import MLNCleanConfig
-from repro.distributed.driver import DistributedMLNClean
 from repro.experiments.harness import (
     ExperimentResult,
     default_error_rates,
     prepare_instance,
+    session_for_instance,
 )
 
 
@@ -44,17 +44,19 @@ def fig15_distributed(
             instance = prepare_instance(
                 dataset, tuples=tuples, error_rate=rate, seed=seed
             )
-            driver = DistributedMLNClean(workers=workers, config=config)
-            report = driver.clean(instance.dirty, instance.rules, instance.ground_truth)
+            session = session_for_instance(
+                instance, config=config, backend="distributed", workers=workers
+            )
+            details = session.run().details
             result.add(
                 {
                     "dataset": dataset,
                     "error_rate": rate,
                     "workers": workers,
-                    "f1": round(report.f1, 4),
-                    "runtime_s": round(report.runtime, 4),
-                    "sequential_s": round(report.sequential_runtime, 4),
-                    "speedup": round(report.speedup, 3),
+                    "f1": round(details.f1, 4),
+                    "runtime_s": round(details.runtime, 4),
+                    "sequential_s": round(details.sequential_runtime, 4),
+                    "speedup": round(details.speedup, 3),
                 }
             )
     return result
@@ -76,19 +78,21 @@ def table06_worker_scaling(
     config = MLNCleanConfig.for_dataset(dataset)
     baseline_runtime: Optional[float] = None
     for workers in worker_counts:
-        driver = DistributedMLNClean(workers=workers, config=config)
-        report = driver.clean(instance.dirty, instance.rules, instance.ground_truth)
+        session = session_for_instance(
+            instance, config=config, backend="distributed", workers=workers
+        )
+        details = session.run().details
         if baseline_runtime is None:
-            baseline_runtime = report.runtime
+            baseline_runtime = details.runtime
         result.add(
             {
                 "dataset": dataset,
                 "workers": workers,
-                "runtime_s": round(report.runtime, 4),
-                "sequential_s": round(report.sequential_runtime, 4),
-                "f1": round(report.f1, 4),
+                "runtime_s": round(details.runtime, 4),
+                "sequential_s": round(details.sequential_runtime, 4),
+                "f1": round(details.f1, 4),
                 "speedup_vs_first": round(
-                    baseline_runtime / report.runtime if report.runtime else 1.0, 3
+                    baseline_runtime / details.runtime if details.runtime else 1.0, 3
                 ),
             }
         )

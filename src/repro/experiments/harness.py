@@ -15,10 +15,10 @@ from typing import Optional
 
 from repro.baselines.holoclean import HoloCleanBaseline, HoloCleanConfig
 from repro.core.config import MLNCleanConfig
-from repro.core.pipeline import MLNClean
 from repro.errors.injector import ErrorSpec
+from repro.session import CleaningSession
 from repro.workloads.base import Workload, WorkloadInstance
-from repro.workloads.registry import get_workload_generator
+from repro.workloads.registry import get_workload_generator, recommended_config
 
 #: default scaled-down workload sizes used when the caller does not override
 #: them; the paper's datasets are orders of magnitude larger, but the shapes
@@ -129,33 +129,67 @@ def prepare_instance(
 # ----------------------------------------------------------------------
 # system runners
 # ----------------------------------------------------------------------
+def session_for_instance(
+    instance: WorkloadInstance,
+    config: Optional[MLNCleanConfig] = None,
+    backend: str = "batch",
+    **backend_options,
+) -> CleaningSession:
+    """A ready-to-run :class:`CleaningSession` over a workload instance.
+
+    The session carries the instance's rules, dirty table and ground truth;
+    ``config`` defaults to the workload's recommended configuration from the
+    registry.
+    """
+    if config is None:
+        config = recommended_config(instance.name)
+    return (
+        CleaningSession.builder()
+        .with_rules(instance.rules)
+        .with_config(config)
+        .with_backend(backend, **backend_options)
+        .with_table(instance.dirty)
+        .with_ground_truth(instance.ground_truth)
+        .build()
+    )
+
+
 def run_mlnclean(
     instance: WorkloadInstance,
     threshold: Optional[int] = None,
     config: Optional[MLNCleanConfig] = None,
+    backend: str = "batch",
+    **backend_options,
 ) -> SystemRun:
-    """Run MLNClean on an instance and collect the headline metrics."""
+    """Run MLNClean on an instance and collect the headline metrics.
+
+    The run goes through the unified session API, so ``backend`` can swap in
+    any registered execution backend ("batch" by default).
+    """
     if config is None:
-        workload_threshold = (
-            threshold
-            if threshold is not None
-            else MLNCleanConfig.for_dataset(instance.name).abnormal_threshold
-        )
-        config = MLNCleanConfig(abnormal_threshold=workload_threshold)
+        if threshold is not None:
+            config = MLNCleanConfig(abnormal_threshold=threshold)
     elif threshold is not None:
         config = config.with_threshold(threshold)
-    cleaner = MLNClean(config)
+    session = session_for_instance(
+        instance, config=config, backend=backend, **backend_options
+    )
     started = time.perf_counter()
-    report = cleaner.clean(instance.dirty, instance.rules, instance.ground_truth)
+    report = session.run()
     elapsed = time.perf_counter() - started
-    component = report.component_accuracy
-    extras = component.as_dict()
+    # Component metrics only exist when the backend ran the instrumented
+    # stages (the distributed driver reports no per-stage outcomes);
+    # emitting all-zero columns would read as "measured: 0".
+    extras: dict[str, float] = {}
+    if any(o is not None for o in (report.agp, report.rsc, report.fscr)):
+        extras.update(report.component_accuracy.as_dict())
     extras["duplicates_removed"] = float(
         report.dedup.removed_count if report.dedup is not None else 0
     )
+    system = "MLNClean" if backend == "batch" else f"MLNClean[{backend}]"
     return SystemRun(
         dataset=instance.name,
-        system="MLNClean",
+        system=system,
         f1=report.accuracy.f1 if report.accuracy else 0.0,
         precision=report.accuracy.precision if report.accuracy else 0.0,
         recall=report.accuracy.recall if report.accuracy else 0.0,

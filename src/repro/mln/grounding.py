@@ -14,12 +14,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
-from repro.constraints.rules import (
-    ConditionalFunctionalDependency,
-    DenialConstraint,
-    FunctionalDependency,
-    Rule,
-)
+from repro.constraints.rules import DenialConstraint, Rule
 from repro.dataset.table import Table
 from repro.mln.formula import Atom, Clause, Literal
 

@@ -1,0 +1,71 @@
+"""Unified session API: one facade over every execution backend and stage.
+
+The package used to expose three divergent entry points — batch
+``MLNClean.clean()``, ``DistributedMLNClean.clean()`` and
+``StreamingMLNClean`` — each with its own config plumbing and report type.
+:class:`CleaningSession` replaces the three-way fork with one facade over
+swappable internals:
+
+* :mod:`repro.session.session` — the :class:`CleaningSession` /
+  :class:`SessionBuilder` facade plus :func:`load_table` (Table / dict rows /
+  CSV) and :func:`load_rules` (strings / Rule objects / rule files),
+* :mod:`repro.session.backends` — the :class:`ExecutionBackend` protocol,
+  the backend registry (:func:`register_backend`), and the three built-in
+  adapters over the existing engines,
+* :mod:`repro.core.stages` (re-exported here) — the pluggable
+  :class:`~repro.core.stages.Stage` protocol and registry the batch pipeline
+  executes.
+
+Every backend returns the same unified
+:class:`~repro.core.report.CleaningReport`; a new execution mode or pipeline
+stage is one ``register_backend()`` / ``register_stage()`` call instead of a
+three-way code fork.
+"""
+
+from repro.core.stages import (
+    DEFAULT_STAGES,
+    Stage,
+    StageContext,
+    available_stages,
+    get_stage,
+    register_stage,
+)
+from repro.session.backends import (
+    BatchBackend,
+    CleaningRequest,
+    DistributedBackend,
+    ExecutionBackend,
+    StreamingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.session.session import (
+    CleaningSession,
+    Session,
+    SessionBuilder,
+    load_rules,
+    load_table,
+)
+
+__all__ = [
+    "CleaningSession",
+    "Session",
+    "SessionBuilder",
+    "load_table",
+    "load_rules",
+    "ExecutionBackend",
+    "CleaningRequest",
+    "BatchBackend",
+    "DistributedBackend",
+    "StreamingBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "Stage",
+    "StageContext",
+    "DEFAULT_STAGES",
+    "register_stage",
+    "available_stages",
+    "get_stage",
+]

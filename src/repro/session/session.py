@@ -1,0 +1,357 @@
+"""The `CleaningSession` facade: one entry point for every execution mode.
+
+HoloClean-style session idiom (``load data → load rules → clean``) over the
+pluggable internals of this package::
+
+    from repro.session import CleaningSession
+
+    session = (
+        CleaningSession.builder()
+        .with_rules("CT -> ST", "HN, PN -> CT")
+        .with_config(abnormal_threshold=1)
+        .with_backend("batch")
+        .build()
+    )
+    session.load_table("hospital.csv")
+    report = session.run()
+
+The same session drives any registered backend (``"batch"``,
+``"distributed"``, ``"streaming"``, or anything added through
+:func:`~repro.session.backends.register_backend`) and any registered stage
+sequence; the result is always the unified
+:class:`~repro.core.report.CleaningReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.constraints.parser import parse_rule, parse_rules
+from repro.constraints.rules import Rule
+from repro.core.config import MLNCleanConfig
+from repro.core.report import CleaningReport
+from repro.dataset.io import read_csv
+from repro.dataset.table import Table
+from repro.errors.groundtruth import GroundTruth
+from repro.session.backends import CleaningRequest, ExecutionBackend, get_backend
+
+#: anything :func:`load_rules` understands
+RulesLike = Union[str, Path, Rule, Iterable[Union[str, Rule]]]
+#: anything :func:`load_table` understands
+TableLike = Union[str, Path, Table, Sequence[Mapping[str, str]]]
+
+
+#: placeholder prefix marking rules whose name the collision-aware
+#: renumbering in :func:`_extend_rules` still has to assign
+_AUTONAME = "__autoname__"
+
+
+def load_rules(source: RulesLike, prefix: str = "r") -> list[Rule]:
+    """Load integrity constraints from strings, Rule objects, or a file.
+
+    Accepted sources:
+
+    * a :class:`Rule` instance (returned as a one-element list),
+    * one rule string (``"CT -> ST"`` or ``"DC: ..."``),
+    * a path to a text file with one rule per line (blank lines and ``#``
+      comments are skipped) — recognised by an existing file or a
+      ``.txt``/``.rules`` suffix,
+    * any iterable mixing rule strings and Rule instances.
+
+    Parsed rules are named ``<prefix>1``, ``<prefix>2``, ... by position,
+    skipping names that explicitly named :class:`Rule` instances in the
+    same source already claim; an explicit duplicate name raises (the MLN
+    index keys blocks by rule name, so a collision would silently drop a
+    constraint).
+    """
+    rules: list[Rule] = []
+    _extend_rules(rules, source, prefix=prefix)
+    return rules
+
+
+def _load_raw(source: RulesLike) -> list[Rule]:
+    """Load ``source`` with parsed rules carrying placeholder names."""
+    if isinstance(source, Rule):
+        return [source]
+    if isinstance(source, Path):
+        return _rules_from_file(source)
+    if isinstance(source, str):
+        path = Path(source)
+        if path.suffix in (".txt", ".rules") or path.is_file():
+            return _rules_from_file(path)
+        return [parse_rule(source, name=f"{_AUTONAME}1")]
+    return [
+        item if isinstance(item, Rule) else parse_rule(item, name=f"{_AUTONAME}{i}")
+        for i, item in enumerate(source, start=1)
+    ]
+
+
+def _rules_from_file(path: Path) -> list[Rule]:
+    if not path.is_file():
+        raise FileNotFoundError(f"rule file {path} does not exist")
+    lines = [
+        line.strip()
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    texts = [line for line in lines if line and not line.startswith("#")]
+    return parse_rules(texts, prefix=_AUTONAME)
+
+
+def load_table(
+    source: TableLike,
+    attributes: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> Table:
+    """Load a table from a :class:`Table`, dict rows, or a CSV path.
+
+    * a :class:`Table` is passed through unchanged (``attributes``/``name``
+      must then be omitted),
+    * a ``str``/``Path`` is read as a CSV file with a header row,
+    * a sequence of mappings becomes the rows of a new table.
+    """
+    if isinstance(source, Table):
+        if attributes is not None or name is not None:
+            raise ValueError(
+                "attributes/name only apply when loading from CSV or records"
+            )
+        return source
+    if isinstance(source, (str, Path)):
+        return read_csv(source, attributes=attributes, name=name)
+    return Table.from_records(
+        source, attributes=attributes, name=name if name is not None else "T"
+    )
+
+
+class SessionBuilder:
+    """Fluent construction of a :class:`CleaningSession`.
+
+    Every ``with_*`` method returns the builder, so calls chain::
+
+        session = (
+            CleaningSession.builder()
+            .with_rules("CT -> ST")
+            .with_config(abnormal_threshold=10)
+            .with_backend("streaming", batch_size=50)
+            .build()
+        )
+    """
+
+    def __init__(self) -> None:
+        self._rules: list[Rule] = []
+        self._config: Optional[MLNCleanConfig] = None
+        self._config_overrides: dict[str, object] = {}
+        self._backend_name: str = "batch"
+        self._backend_options: dict[str, object] = {}
+        self._stages: Optional[list[str]] = None
+        self._table: Optional[Table] = None
+        self._ground_truth: Optional[GroundTruth] = None
+
+    def with_rules(self, *sources: RulesLike) -> "SessionBuilder":
+        """Add rules from any mix of strings, Rule objects, and files."""
+        for source in sources:
+            _extend_rules(self._rules, source)
+        return self
+
+    def with_config(
+        self, config: Optional[MLNCleanConfig] = None, **overrides
+    ) -> "SessionBuilder":
+        """Set the pipeline configuration (an instance, field overrides, or both)."""
+        if config is not None:
+            self._config = config
+        self._config_overrides.update(overrides)
+        return self
+
+    def for_workload(self, dataset: str, **overrides) -> "SessionBuilder":
+        """Start from the registered workload's recommended configuration."""
+        from repro.workloads.registry import recommended_config
+
+        self._config = recommended_config(dataset, **overrides)
+        return self
+
+    def with_backend(self, name: str, **options) -> "SessionBuilder":
+        """Select the execution backend by registry name, with its options."""
+        self._backend_name = name
+        self._backend_options = dict(options)
+        return self
+
+    def with_stages(self, *names: str) -> "SessionBuilder":
+        """Override the stage sequence (registered stage names, in order)."""
+        flat: list[str] = []
+        for name in names:
+            if isinstance(name, str):
+                flat.append(name)
+            else:
+                flat.extend(name)
+        self._stages = flat
+        return self
+
+    def with_table(
+        self,
+        source: TableLike,
+        attributes: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> "SessionBuilder":
+        """Attach the dirty table up front (same sources as ``load_table``)."""
+        self._table = load_table(source, attributes=attributes, name=name)
+        return self
+
+    def with_ground_truth(self, ground_truth: GroundTruth) -> "SessionBuilder":
+        """Attach an injected-error ledger: runs report repair accuracy."""
+        self._ground_truth = ground_truth
+        return self
+
+    def build(self) -> "CleaningSession":
+        """Construct the session (the backend is instantiated here)."""
+        config = self._config or MLNCleanConfig()
+        if self._config_overrides:
+            from dataclasses import replace
+
+            config = replace(config, **self._config_overrides)
+        backend = get_backend(self._backend_name, **self._backend_options)
+        return CleaningSession(
+            rules=list(self._rules),
+            config=config,
+            backend=backend,
+            stages=self._stages,
+            table=self._table,
+            ground_truth=self._ground_truth,
+        )
+
+
+def _extend_rules(existing: list[Rule], source: RulesLike, prefix: str = "r") -> None:
+    """Load ``source`` and append to ``existing`` with collision-free names.
+
+    The MLN index keys its blocks by rule name, so two rules sharing a name
+    would silently shadow each other.  Auto-named (parsed) rules therefore
+    take the next free ``<prefix>N`` by position; an explicitly named
+    :class:`Rule` that collides is rejected loudly.
+    """
+    taken = {rule.name for rule in existing}
+    for rule in _load_raw(source):
+        if rule.name.startswith(_AUTONAME):
+            counter = len(existing) + 1
+            while f"{prefix}{counter}" in taken:
+                counter += 1
+            rule.name = f"{prefix}{counter}"
+        elif rule.name in taken:
+            raise ValueError(
+                f"duplicate rule name {rule.name!r}: the MLN index needs "
+                f"every rule to have a distinct name"
+            )
+        taken.add(rule.name)
+        existing.append(rule)
+
+
+class CleaningSession:
+    """One configured cleaning context: rules + config + backend + stages.
+
+    Sessions are reusable: :meth:`run` can be called repeatedly, with the
+    attached table or with an explicit one per call.  The attached state can
+    be (re)loaded through :meth:`load_table` / :meth:`load_rules` /
+    :meth:`attach_ground_truth` between runs.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        config: Optional[MLNCleanConfig] = None,
+        backend: Union[ExecutionBackend, str] = "batch",
+        stages: Optional[Sequence[str]] = None,
+        table: Optional[Table] = None,
+        ground_truth: Optional[GroundTruth] = None,
+    ):
+        self.rules: list[Rule] = list(rules) if rules is not None else []
+        self.config = config or MLNCleanConfig()
+        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        self.stages = list(stages) if stages is not None else None
+        self.table = table
+        self.ground_truth = ground_truth
+        #: the report of the most recent run (None before the first run)
+        self.last_report: Optional[CleaningReport] = None
+
+    @staticmethod
+    def builder() -> SessionBuilder:
+        """Start a fluent :class:`SessionBuilder`."""
+        return SessionBuilder()
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_table(
+        self,
+        source: TableLike,
+        attributes: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> Table:
+        """Load and attach the dirty table (Table / dict rows / CSV path)."""
+        self.table = load_table(source, attributes=attributes, name=name)
+        return self.table
+
+    def load_rules(self, *sources: RulesLike, replace: bool = False) -> list[Rule]:
+        """Load and attach rules (strings / Rule objects / rule files).
+
+        ``replace=True`` discards previously attached rules first.
+        """
+        if replace:
+            self.rules = []
+        for source in sources:
+            _extend_rules(self.rules, source)
+        return self.rules
+
+    def attach_ground_truth(self, ground_truth: GroundTruth) -> None:
+        """Attach the injected-error ledger; later runs report accuracy."""
+        self.ground_truth = ground_truth
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        table: Optional[TableLike] = None,
+        rules: Optional[RulesLike] = None,
+        ground_truth: Optional[GroundTruth] = None,
+    ) -> CleaningReport:
+        """Execute one cleaning run on the configured backend.
+
+        Arguments default to the session's attached state; passing them
+        explicitly neither requires nor modifies that state.
+        """
+        dirty = self.table if table is None else load_table(table)
+        if dirty is None:
+            raise ValueError(
+                "no table to clean: call load_table() or pass one to run()"
+            )
+        run_rules = self.rules if rules is None else load_rules(rules)
+        if not run_rules:
+            raise ValueError(
+                "no integrity constraints: call load_rules() or pass rules to run()"
+            )
+        truth = ground_truth if ground_truth is not None else self.ground_truth
+        request = CleaningRequest(
+            dirty=dirty,
+            rules=list(run_rules),
+            config=self.config,
+            ground_truth=truth,
+            stages=list(self.stages) if self.stages is not None else None,
+        )
+        self.last_report = self.backend.run(request)
+        return self.last_report
+
+    #: HoloClean-style alias: ``session.clean()`` == ``session.run()``
+    clean = run
+
+    def describe(self) -> str:
+        """One line summarising the session's configuration."""
+        stages = "default" if self.stages is None else "→".join(self.stages)
+        return (
+            f"CleaningSession(backend={self.backend.name}, "
+            f"rules={len(self.rules)}, stages={stages}, "
+            f"tau={self.config.abnormal_threshold}, "
+            f"metric={self.config.distance_metric})"
+        )
+
+
+#: short alias used throughout the docs: ``Session.builder()...``
+Session = CleaningSession

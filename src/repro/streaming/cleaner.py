@@ -307,6 +307,8 @@ class StreamingMLNClean:
             fscr=fscr,
             dedup=self._dedup,
             accuracy=self.accuracy(),
+            backend="streaming",
+            details=self,
         )
 
     # ------------------------------------------------------------------

@@ -13,11 +13,8 @@ properties make them experiment-grade:
   stream progresses.
 
 :class:`WorkloadStreamSource` adapts the registered workload generators
-(HAI / CAR / TPC-H, plus anything added through
-:func:`repro.workloads.register_workload`) into such streams; this module
-also registers the paper's worked hospital example as the ``hospital-sample``
-workload so the smallest end-to-end demo runs through the same registry
-path.
+(HAI / CAR / TPC-H / hospital-sample, plus anything added through
+:func:`repro.workloads.register_workload`) into such streams.
 """
 
 from __future__ import annotations
@@ -27,17 +24,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.constraints.rules import Rule
-from repro.dataset.sample import (
-    SAMPLE_ATTRIBUTES,
-    SAMPLE_CLEAN_RECORDS,
-    sample_hospital_rules,
-)
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.errors.injector import ErrorSpec
 from repro.streaming.delta import DeltaBatch
-from repro.workloads.base import Workload, WorkloadGenerator, WorkloadInstance
-from repro.workloads.registry import get_workload_generator, register_workload
+from repro.workloads.base import Workload, WorkloadInstance
+from repro.workloads.registry import get_workload_generator
+from repro.workloads.sample import SampleHospitalWorkloadGenerator
 
 
 @dataclass
@@ -150,31 +143,11 @@ class WorkloadStreamSource:
         return len(self._table_source)
 
 
-class SampleHospitalWorkloadGenerator(WorkloadGenerator):
-    """The paper's worked hospital example as a (tiny) registered workload.
-
-    The clean relation cycles the six ground-truth tuples of Table 1 up to
-    the requested size; the rules are r1-r3 of Example 1.  Mainly useful for
-    demos and fast tests that want the registry/streaming path end to end.
-    """
-
-    name = "hospital-sample"
-    recommended_threshold = 1
-
-    def __init__(self, tuples: int = 6, seed: int = 7):
-        super().__init__(tuples=tuples, seed=seed)
-
-    def rules(self) -> list[Rule]:
-        return sample_hospital_rules()
-
-    def generate_clean(self) -> Table:
-        records = [
-            SAMPLE_CLEAN_RECORDS[i % len(SAMPLE_CLEAN_RECORDS)]
-            for i in range(self.tuples)
-        ]
-        return Table.from_records(
-            records, attributes=SAMPLE_ATTRIBUTES, name="hospital-sample"
-        )
-
-
-register_workload("hospital-sample", SampleHospitalWorkloadGenerator)
+#: re-exported for backward compatibility — the generator now lives with the
+#: other workloads in :mod:`repro.workloads.sample`
+__all__ = [
+    "StreamBatch",
+    "TableStreamSource",
+    "WorkloadStreamSource",
+    "SampleHospitalWorkloadGenerator",
+]

@@ -17,9 +17,11 @@ from repro.workloads.base import Workload, WorkloadInstance
 from repro.workloads.hai import HAIWorkloadGenerator
 from repro.workloads.car import CarWorkloadGenerator
 from repro.workloads.tpch import TPCHWorkloadGenerator
+from repro.workloads.sample import SampleHospitalWorkloadGenerator
 from repro.workloads.registry import (
     available_workloads,
     get_workload_generator,
+    recommended_config,
     register_workload,
 )
 
@@ -29,7 +31,9 @@ __all__ = [
     "HAIWorkloadGenerator",
     "CarWorkloadGenerator",
     "TPCHWorkloadGenerator",
+    "SampleHospitalWorkloadGenerator",
     "get_workload_generator",
     "available_workloads",
+    "recommended_config",
     "register_workload",
 ]

@@ -3,25 +3,34 @@
 The experiment harness and the benchmarks refer to datasets by the names the
 paper uses ("CAR", "HAI", "TPC-H"); this registry maps those names to the
 generator classes with sensible default sizes.  Additional workloads (e.g.
-the streaming demo datasets of :mod:`repro.streaming.source`) plug in
-through :func:`register_workload` instead of editing this module.
+the ``hospital-sample`` demo of :mod:`repro.workloads.sample`) plug in
+through :func:`register_workload` instead of editing this module, and each
+registration also declares the dataset's recommended pipeline configuration
+(see :func:`recommended_config`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Type
+import warnings
+from typing import TYPE_CHECKING, Optional, Type
 
+from repro.registry import Registry
 from repro.workloads.base import WorkloadGenerator
 from repro.workloads.car import CarWorkloadGenerator
 from repro.workloads.hai import HAIWorkloadGenerator
 from repro.workloads.tpch import TPCHWorkloadGenerator
 
-_GENERATORS: dict[str, Type[WorkloadGenerator]] = {
-    "hai": HAIWorkloadGenerator,
-    "car": CarWorkloadGenerator,
-    "tpch": TPCHWorkloadGenerator,
-    "tpc-h": TPCHWorkloadGenerator,
-}
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core ↔ workloads)
+    from repro.core.config import MLNCleanConfig
+
+_GENERATORS: Registry[Type[WorkloadGenerator]] = Registry("workload")
+for _name, _generator_cls in (
+    ("hai", HAIWorkloadGenerator),
+    ("car", CarWorkloadGenerator),
+    ("tpch", TPCHWorkloadGenerator),
+    ("tpc-h", TPCHWorkloadGenerator),
+):
+    _GENERATORS.register(_name, _generator_cls)
 
 
 def register_workload(name: str, generator_cls: Type[WorkloadGenerator]) -> None:
@@ -31,15 +40,9 @@ def register_workload(name: str, generator_cls: Type[WorkloadGenerator]) -> None
     register on import safely); rebinding a name to a different class is an
     error — aliases of one class remain allowed.
     """
-    key = name.lower()
     if not issubclass(generator_cls, WorkloadGenerator):
         raise TypeError(f"{generator_cls!r} is not a WorkloadGenerator subclass")
-    existing = _GENERATORS.get(key)
-    if existing is not None and existing is not generator_cls:
-        raise ValueError(
-            f"workload {name!r} is already registered to {existing.__name__}"
-        )
-    _GENERATORS[key] = generator_cls
+    _GENERATORS.register(name, generator_cls)
 
 
 def available_workloads() -> list[str]:
@@ -58,6 +61,37 @@ def available_workloads() -> list[str]:
     return names
 
 
+def recommended_config(name: str, **overrides) -> "MLNCleanConfig":
+    """The registered workload's recommended pipeline configuration.
+
+    Each generator declares the AGP threshold τ the paper's experiments
+    found optimal for its dataset (``recommended_threshold``); registering a
+    workload through :func:`register_workload` therefore also declares its
+    recommended config — no per-dataset table to edit anywhere else.
+
+    Unknown names fall back to the global defaults **with a warning** (they
+    used to fall back silently, which hid typos in dataset names).
+    """
+    from dataclasses import replace
+
+    from repro.core.config import MLNCleanConfig
+
+    generator_cls = _GENERATORS.lookup(name)
+    if generator_cls is None:
+        warnings.warn(
+            f"no workload registered under {name!r}; falling back to the "
+            f"default configuration (tau=1). Registered workloads: "
+            f"{available_workloads()}",
+            stacklevel=2,
+        )
+        config = MLNCleanConfig()
+    else:
+        config = MLNCleanConfig(
+            abnormal_threshold=generator_cls.recommended_threshold
+        )
+    return replace(config, **overrides) if overrides else config
+
+
 def get_workload_generator(
     name: str, tuples: Optional[int] = None, seed: int = 7, **kwargs
 ) -> WorkloadGenerator:
@@ -66,12 +100,12 @@ def get_workload_generator(
     ``tuples`` overrides the generator's default size; extra keyword
     arguments are forwarded to the generator constructor.
     """
-    key = name.lower()
-    if key not in _GENERATORS:
+    try:
+        generator_cls = _GENERATORS.get(name)
+    except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; available: {available_workloads()}"
-        )
-    generator_cls = _GENERATORS[key]
+        ) from None
     if tuples is not None:
         return generator_cls(tuples=tuples, seed=seed, **kwargs)
     return generator_cls(seed=seed, **kwargs)

@@ -100,9 +100,18 @@ def test_config_validation():
 def test_config_for_dataset_thresholds():
     assert MLNCleanConfig.for_dataset("car").abnormal_threshold == 1
     assert MLNCleanConfig.for_dataset("HAI").abnormal_threshold == 10
-    assert MLNCleanConfig.for_dataset("unknown").abnormal_threshold == 1
+    assert MLNCleanConfig.for_dataset("tpch").abnormal_threshold == 2
+    assert MLNCleanConfig.for_dataset("hospital-sample").abnormal_threshold == 1
     overridden = MLNCleanConfig.for_dataset("hai", distance_metric="cosine")
     assert overridden.distance_metric == "cosine"
+
+
+def test_config_for_unknown_dataset_warns():
+    # the per-dataset τ table lives in the workload registry now; unknown
+    # names fall back to the defaults loudly instead of silently
+    with pytest.warns(UserWarning, match="no workload registered"):
+        config = MLNCleanConfig.for_dataset("unknown")
+    assert config.abnormal_threshold == 1
 
 
 # ----------------------------------------------------------------------

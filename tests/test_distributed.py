@@ -9,7 +9,6 @@ from repro.distributed.driver import DistributedMLNClean
 from repro.distributed.executor import SimulatedCluster
 from repro.distributed.partition import DataPartitioner, hash_partition
 from repro.distributed.weights import GlobalWeightStore, fuse_weights
-from repro.errors.injector import ErrorInjector, ErrorSpec
 
 
 def toy_table(rows: int = 40) -> Table:

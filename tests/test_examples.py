@@ -4,8 +4,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -17,6 +15,7 @@ def run_example(monkeypatch, capsys, script: str, argv: list[str]):
 
 def test_quickstart_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "quickstart.py", [])
+    assert "CleaningSession(backend=batch" in output
     assert "Dirty input" in output
     assert "Final clean table" in output
     # the typo DOTH disappears and the duplicates collapse
@@ -45,8 +44,16 @@ def test_distributed_tpch_example(monkeypatch, capsys):
 def test_streaming_clean_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "streaming_clean.py", ["200", "50"])
     assert "Streaming 200 HAI tuples" in output
+    assert "batches applied: 4" in output
     assert "late correction" in output
     assert "matches batch MLNClean: True" in output
+
+
+def test_backends_tour_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "backends_tour.py", ["48"])
+    assert "batch" in output and "distributed" in output and "streaming" in output
+    assert "batch == streaming: True" in output
+    assert "batch == distributed: True" in output
 
 
 def test_examples_directory_contains_expected_scripts():
@@ -57,4 +64,5 @@ def test_examples_directory_contains_expected_scripts():
         "car_error_types.py",
         "distributed_tpch.py",
         "streaming_clean.py",
+        "backends_tour.py",
     } <= names

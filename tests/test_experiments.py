@@ -1,7 +1,5 @@
 """Smoke tests for the experiment harnesses (tiny workload sizes)."""
 
-import pytest
-
 from repro.experiments import (
     EXPERIMENTS,
     ablation_fscr_minimality,

@@ -1,12 +1,9 @@
 """Unit tests for the Markov logic substrate: formulas, grounding, weights, inference."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.constraints.rules import FunctionalDependency
-from repro.dataset.table import Table
 from repro.mln.formula import Atom, Clause, Literal
 from repro.mln.grounding import ground_rule, ground_rules, grounding_statistics
 from repro.mln.inference import ExactInference, GibbsSampler

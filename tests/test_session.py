@@ -1,0 +1,401 @@
+"""The unified session API: builder, loaders, registries, backends, shims."""
+
+import pytest
+
+import repro
+from repro import CleaningSession, MLNClean, MLNCleanConfig, StreamingMLNClean, Table
+from repro.constraints.rules import FunctionalDependency
+from repro.core.pipeline import MLNClean as CoreMLNClean
+from repro.core.report import CleaningReport
+from repro.core.stages import DEFAULT_STAGES, available_stages, register_stage
+from repro.dataset.sample import sample_hospital_rules, sample_hospital_table
+from repro.distributed.driver import DistributedReport
+from repro.errors.injector import ErrorSpec
+from repro.session import (
+    BatchBackend,
+    CleaningRequest,
+    StreamingBackend,
+    available_backends,
+    get_backend,
+    load_rules,
+    load_table,
+    register_backend,
+)
+from repro.session.session import Session, SessionBuilder
+from repro.streaming.cleaner import StreamingMLNClean as CoreStreamingMLNClean
+from repro.workloads import get_workload_generator, recommended_config
+
+
+def sample_session(backend="batch", **options):
+    session = (
+        CleaningSession.builder()
+        .with_rules(sample_hospital_rules())
+        .with_config(abnormal_threshold=1)
+        .with_backend(backend, **options)
+        .build()
+    )
+    session.load_table(sample_hospital_table())
+    return session
+
+
+def hospital_sample_instance(tuples=48, seed=42):
+    workload = get_workload_generator("hospital-sample", tuples=tuples).build()
+    return workload.make_instance(ErrorSpec(error_rate=0.05, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# builder and loaders
+# ----------------------------------------------------------------------
+def test_builder_constructs_configured_session():
+    session = (
+        CleaningSession.builder()
+        .with_rules("CT -> ST", "HN, PN -> CT")
+        .with_config(abnormal_threshold=3, distance_metric="cosine")
+        .with_backend("streaming", batch_size=7)
+        .build()
+    )
+    assert [rule.name for rule in session.rules] == ["r1", "r2"]
+    assert session.config.abnormal_threshold == 3
+    assert session.config.distance_metric == "cosine"
+    assert session.backend.name == "streaming"
+    assert session.backend.batch_size == 7
+    assert "backend=streaming" in session.describe()
+
+
+def test_builder_session_alias_and_staticmethod():
+    assert Session is CleaningSession
+    assert isinstance(Session.builder(), SessionBuilder)
+
+
+def test_builder_config_instance_with_overrides():
+    base = MLNCleanConfig(abnormal_threshold=10)
+    session = (
+        CleaningSession.builder()
+        .with_config(base, distance_metric="cosine")
+        .build()
+    )
+    assert session.config.abnormal_threshold == 10
+    assert session.config.distance_metric == "cosine"
+
+
+def test_builder_for_workload_uses_registry_config():
+    session = CleaningSession.builder().for_workload("hai").build()
+    assert session.config.abnormal_threshold == 10
+
+
+def test_load_rules_from_strings_rules_and_mixed():
+    fd = FunctionalDependency(["A"], ["B"], name="custom")
+    assert load_rules(fd) == [fd]
+    parsed = load_rules("A -> B")
+    assert parsed[0].name == "r1" and parsed[0].kind == "FD"
+    mixed = load_rules([fd, "A -> C"])
+    assert mixed[0].name == "custom"
+    assert mixed[1].name == "r2"
+
+
+def test_load_rules_from_file(tmp_path):
+    path = tmp_path / "hospital.rules"
+    path.write_text("# Table-4 constraints\nCT -> ST\n\nHN, PN -> CT\n")
+    rules = load_rules(path)
+    assert [rule.name for rule in rules] == ["r1", "r2"]
+    assert rules[1].reason_attributes == ["HN", "PN"]
+    with pytest.raises(FileNotFoundError):
+        load_rules(tmp_path / "missing.rules")
+
+
+def test_rule_names_never_collide_silently():
+    # auto-assigned names skip over explicitly named rules (the MLN index
+    # keys blocks by rule name, so a collision would drop a constraint)
+    named = FunctionalDependency(["A"], ["B"], name="r2")
+    session = CleaningSession(rules=[named])
+    session.load_rules("A -> C")
+    assert [rule.name for rule in session.rules] == ["r2", "r3"]
+
+    builder = CleaningSession.builder().with_rules(named, "A -> C")
+    assert [rule.name for rule in builder.build().rules] == ["r2", "r3"]
+
+    # explicitly named duplicates are rejected loudly
+    with pytest.raises(ValueError, match="duplicate rule name"):
+        session.load_rules(FunctionalDependency(["A"], ["D"], name="r2"))
+
+    # the guard also covers module-level load_rules (and therefore the
+    # run(rules=...) path, which routes through it)
+    guarded = load_rules([named, "A -> C"])
+    assert [rule.name for rule in guarded] == ["r2", "r3"]
+    with pytest.raises(ValueError, match="duplicate rule name"):
+        load_rules([named, FunctionalDependency(["A"], ["D"], name="r2")])
+
+
+def test_session_load_rules_accumulates_and_replaces():
+    session = CleaningSession()
+    session.load_rules("A -> B")
+    session.load_rules("A -> C")
+    assert [rule.name for rule in session.rules] == ["r1", "r2"]
+    session.load_rules("B -> C", replace=True)
+    assert [rule.name for rule in session.rules] == ["r1"]
+
+
+def test_load_table_passthrough_records_and_csv(tmp_path):
+    table = sample_hospital_table()
+    assert load_table(table) is table
+    with pytest.raises(ValueError):
+        load_table(table, name="renamed")
+
+    records = [{"A": "1", "B": "x"}, {"A": "2", "B": "y"}]
+    from_records = load_table(records, name="tiny")
+    assert from_records.name == "tiny"
+    assert len(from_records) == 2
+
+    csv_path = tmp_path / "tiny.csv"
+    csv_path.write_text("A,B\n1,x\n2,y\n")
+    from_csv = load_table(csv_path)
+    assert from_csv.attributes == ["A", "B"]
+    assert len(from_csv) == 2
+
+
+def test_run_requires_table_and_rules():
+    with pytest.raises(ValueError, match="no table"):
+        CleaningSession(rules=sample_hospital_rules()).run()
+    session = CleaningSession()
+    session.load_table(sample_hospital_table())
+    with pytest.raises(ValueError, match="no integrity constraints"):
+        session.run()
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+def test_available_backends_lists_builtins():
+    assert {"batch", "distributed", "streaming"} <= set(available_backends())
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("spark")
+
+
+def test_batch_backend_matches_direct_mlnclean():
+    session = sample_session()
+    via_session = session.run()
+    direct = MLNClean(MLNCleanConfig(abnormal_threshold=1)).clean(
+        sample_hospital_table(), sample_hospital_rules()
+    )
+    assert via_session.cleaned.equals(direct.cleaned)
+    assert via_session.repaired.equals(direct.repaired)
+    assert via_session.backend == "batch"
+
+
+def test_session_clean_alias_and_last_report():
+    session = sample_session()
+    report = session.clean()
+    assert isinstance(report, CleaningReport)
+    assert session.last_report is report
+
+
+def test_distributed_backend_returns_unified_report():
+    session = sample_session("distributed", workers=2)
+    report = session.run()
+    assert report.backend == "distributed"
+    assert isinstance(report.details, DistributedReport)
+    assert report.details.workers == 2
+    assert "workers" in report.timings.phases
+    assert len(report.cleaned) >= 1
+
+
+def test_streaming_backend_exposes_engine():
+    session = sample_session("streaming", batch_size=2)
+    report = session.run()
+    assert report.backend == "streaming"
+    engine = session.backend.engine
+    assert isinstance(engine, CoreStreamingMLNClean)
+    assert engine.batches_applied == 3
+    assert engine.cleaned.equals(report.cleaned)
+
+
+def test_custom_backend_registration():
+    class EchoBackend:
+        name = "echo"
+
+        def run(self, request):
+            return BatchBackend().run(request)
+
+    register_backend("echo", EchoBackend)
+    register_backend("echo", EchoBackend)  # same factory: no-op
+    session = sample_session("echo")
+    assert session.run().cleaned.equals(sample_session().run().cleaned)
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("echo", BatchBackend)
+
+
+def test_backends_reject_custom_stage_orders():
+    for backend in ("distributed", "streaming"):
+        session = sample_session(backend)
+        session.stages = ["fscr"]
+        with pytest.raises(ValueError, match="batch-only"):
+            session.run()
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+def test_default_stages_registered():
+    assert list(DEFAULT_STAGES) == ["agp", "rsc", "fscr", "dedup"]
+    assert set(DEFAULT_STAGES) <= set(available_stages())
+
+
+def test_disabling_dedup_stage_keeps_duplicates():
+    session = sample_session()
+    session.stages = ["agp", "rsc", "fscr"]
+    report = session.run()
+    assert report.dedup is None
+    assert report.cleaned.equals(report.repaired)
+    full = sample_session().run()
+    assert len(report.cleaned) > len(full.cleaned)
+    # the repair itself is unchanged — only duplicate elimination is skipped
+    assert report.repaired.equals(full.repaired)
+
+
+def test_disabling_agp_stage_still_cleans():
+    session = sample_session()
+    session.stages = ["rsc", "fscr", "dedup"]
+    report = session.run()
+    assert report.agp is None
+    assert report.rsc is not None
+    assert len(report.cleaned) >= 1
+
+
+def test_custom_stage_registration_and_execution():
+    calls = []
+
+    class ProbeStage:
+        name = "probe"
+
+        def __init__(self, config):
+            self.config = config
+
+        def run(self, context):
+            calls.append(len(context.blocks))
+            context.outcomes["probe"] = "ran"
+
+    register_stage("probe", ProbeStage)
+    session = sample_session()
+    session.stages = ["agp", "probe", "rsc", "fscr", "dedup"]
+    report = session.run()
+    assert calls == [len(sample_hospital_rules())]
+    assert "probe" in report.timings.phases
+    with pytest.raises(ValueError, match="already registered"):
+        register_stage("probe", BatchBackend)
+
+
+def test_dedup_before_fscr_is_rejected():
+    # running dedup before fusion would silently emit a stale dedup of the
+    # dirty table as the final result; the stage refuses instead
+    session = sample_session()
+    session.stages = ["agp", "rsc", "dedup", "fscr"]
+    with pytest.raises(ValueError, match="repaired table"):
+        session.run()
+
+
+def test_unknown_stage_raises():
+    session = sample_session()
+    session.stages = ["agp", "nope"]
+    with pytest.raises(KeyError, match="unknown stage"):
+        session.run()
+
+
+# ----------------------------------------------------------------------
+# cross-backend equivalence (the acceptance test of the redesign)
+# ----------------------------------------------------------------------
+def test_cross_backend_equivalence_on_hospital_sample():
+    """Batch, distributed (p=2) and streaming full replay agree exactly."""
+    instance = hospital_sample_instance()
+    reports = {}
+    for backend, options in (
+        ("batch", {}),
+        ("distributed", {"workers": 2}),
+        ("streaming", {"batch_size": 10}),
+    ):
+        session = (
+            CleaningSession.builder()
+            .with_rules(instance.rules)
+            .for_workload("hospital-sample")
+            .with_backend(backend, **options)
+            .with_table(instance.dirty.copy())
+            .with_ground_truth(instance.ground_truth)
+            .build()
+        )
+        reports[backend] = session.run()
+
+    batch = reports["batch"]
+    assert batch.accuracy is not None and batch.f1 > 0.0
+    for backend in ("distributed", "streaming"):
+        report = reports[backend]
+        assert report.cleaned.equals(batch.cleaned), backend
+        assert report.f1 == pytest.approx(batch.f1), backend
+        assert report.backend == backend
+
+
+# ----------------------------------------------------------------------
+# legacy shims
+# ----------------------------------------------------------------------
+def test_legacy_imports_still_work():
+    assert repro.MLNClean is CoreMLNClean
+    assert repro.StreamingMLNClean is CoreStreamingMLNClean
+    from repro import DistributedMLNClean  # noqa: F401 - import is the test
+
+    report = MLNClean(MLNCleanConfig(abnormal_threshold=1)).clean(
+        sample_hospital_table(), sample_hospital_rules()
+    )
+    assert isinstance(report, CleaningReport)
+
+
+def test_shims_construct_same_objects_as_session_path():
+    # the batch backend drives the very class the legacy import exposes ...
+    request = CleaningRequest(
+        dirty=sample_hospital_table(), rules=sample_hospital_rules()
+    )
+    backend_report = BatchBackend().run(request)
+    legacy_report = MLNClean().clean(sample_hospital_table(), sample_hospital_rules())
+    assert type(backend_report) is type(legacy_report) is CleaningReport
+    assert backend_report.cleaned.equals(legacy_report.cleaned)
+
+    # ... and the streaming backend builds the legacy StreamingMLNClean
+    engine = StreamingBackend(batch_size=3).build_engine(request)
+    assert isinstance(engine, StreamingMLNClean)
+
+
+# ----------------------------------------------------------------------
+# workload registry recommended configs
+# ----------------------------------------------------------------------
+def test_recommended_config_comes_from_registry():
+    assert recommended_config("hai").abnormal_threshold == 10
+    assert recommended_config("car").abnormal_threshold == 1
+    assert recommended_config("tpch").abnormal_threshold == 2
+    assert recommended_config("hospital-sample").abnormal_threshold == 1
+    override = recommended_config("hai", distance_metric="cosine")
+    assert override.distance_metric == "cosine"
+
+
+def test_recommended_config_warns_on_unknown_workload():
+    with pytest.warns(UserWarning, match="no workload registered"):
+        config = recommended_config("definitely-not-registered")
+    assert config == MLNCleanConfig()
+
+
+def test_registered_workload_declares_its_config():
+    from repro.workloads.base import WorkloadGenerator
+    from repro.workloads.registry import register_workload
+
+    class TinyGenerator(WorkloadGenerator):
+        name = "tiny-tau-test"
+        recommended_threshold = 33
+
+        def rules(self):
+            return sample_hospital_rules()
+
+        def generate_clean(self) -> Table:
+            return sample_hospital_table()
+
+    register_workload("tiny-tau-test", TinyGenerator)
+    assert recommended_config("tiny-tau-test").abnormal_threshold == 33
+    assert MLNCleanConfig.for_dataset("tiny-tau-test").abnormal_threshold == 33

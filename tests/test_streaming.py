@@ -13,10 +13,6 @@ import pytest
 from repro.core.config import MLNCleanConfig
 from repro.core.index import MLNIndex
 from repro.core.pipeline import MLNClean
-from repro.dataset.sample import (
-    sample_hospital_rules,
-    sample_hospital_table,
-)
 from repro.errors.injector import ErrorSpec
 from repro.streaming import (
     Delete,
