@@ -8,17 +8,30 @@ timing numbers and the accuracy tables.
 The workload sizes are scaled down (hundreds of tuples instead of the paper's
 30 k-6 M) so the full suite finishes in minutes; pass ``--repro-tuples`` to
 scale them up.
+
+Alongside the rendered ``results/*.txt`` tables, the suite writes
+``results/BENCH_perf.json``: per-figure wall-clock, distance-call counts,
+raw metric evaluations and cache hit rate, measured by diffing the
+process-global :class:`repro.perf.DistanceStats` around each harness run.
+CI archives the file so the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.perf import global_distance_stats
+
 #: rendered experiment tables are also written here so the figures/tables can
 #: be inspected after a quiet benchmark run
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: experiment name → perf record collected while the suite runs
+_PERF_RECORDS: dict = {}
 
 
 def pytest_addoption(parser):
@@ -38,7 +51,21 @@ def bench_tuples(request) -> int:
 
 def run_and_report(benchmark, harness, **kwargs):
     """Run one experiment harness under pytest-benchmark and print its table."""
+    stats_before = global_distance_stats()
+    started = time.perf_counter()
     result = benchmark.pedantic(lambda: harness(**kwargs), rounds=1, iterations=1)
+    wall_seconds = time.perf_counter() - started
+    delta = global_distance_stats().diff(stats_before)
+    _PERF_RECORDS[result.experiment] = {
+        "wall_seconds": round(wall_seconds, 4),
+        "distance_calls": delta.calls,
+        "raw_evaluations": delta.raw_evaluations,
+        "cache_hits": delta.cache_hits,
+        "cache_hit_rate": round(delta.hit_rate, 4),
+        "length_prunes": delta.length_prunes,
+        "band_prunes": delta.band_prunes,
+        "value_short_circuits": delta.value_short_circuits,
+    }
     rendered = result.render()
     print()
     print(rendered)
@@ -50,3 +77,26 @@ def run_and_report(benchmark, harness, **kwargs):
 @pytest.fixture
 def report_experiment():
     return run_and_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable perf summary once the suite is done."""
+    if not _PERF_RECORDS:
+        return
+    totals = {
+        key: sum(record[key] for record in _PERF_RECORDS.values())
+        for key in ("wall_seconds", "distance_calls", "raw_evaluations", "cache_hits")
+    }
+    totals["wall_seconds"] = round(totals["wall_seconds"], 4)
+    totals["cache_hit_rate"] = round(
+        totals["cache_hits"] / totals["distance_calls"], 4
+    ) if totals["distance_calls"] else 0.0
+    payload = {
+        "tuples": session.config.getoption("--repro-tuples", default=700),
+        "experiments": dict(sorted(_PERF_RECORDS.items())),
+        "totals": totals,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_perf.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )

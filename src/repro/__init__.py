@@ -63,6 +63,7 @@ from repro.session import (
     register_stage,
 )
 from repro.distributed import DistributedMLNClean
+from repro.perf import DistanceEngine, DistanceStats
 from repro.streaming import (
     Delete,
     DeltaBatch,
@@ -99,6 +100,8 @@ __all__ = [
     "ErrorSpec",
     "evaluate_repair",
     "DistributedMLNClean",
+    "DistanceEngine",
+    "DistanceStats",
     "StreamingMLNClean",
     "DeltaBatch",
     "Insert",

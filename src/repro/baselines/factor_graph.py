@@ -232,9 +232,12 @@ class CellFactorGraph:
     def training_examples(self, sample_size: int = 2000) -> list[TrainingExample]:
         """Labelled examples built from clean cells on constrained attributes."""
         rng = random.Random(self.seed)
-        constrained_attributes = {
-            attribute for rule in self.rules for attribute in rule.attributes
-        }
+        # Sorted so the candidate list (and therefore the seeded sample) is
+        # identical across processes; a plain set comprehension would make
+        # the training sample depend on the interpreter's hash seed.
+        constrained_attributes = sorted(
+            {attribute for rule in self.rules for attribute in rule.attributes}
+        )
         clean_cells = [
             Cell(tid, attribute)
             for tid in self.table.tids

@@ -20,8 +20,8 @@ from typing import Callable, Optional
 
 from repro.core.config import MLNCleanConfig
 from repro.core.index import Block
-from repro.distance.base import DistanceMetric
 from repro.metrics.component import StageCounts
+from repro.perf.engine import DistanceEngine
 
 #: maps a tuple id to its clean values (attribute → value); only available in
 #: instrumented runs where a ground truth exists
@@ -61,9 +61,17 @@ class AGPOutcome:
 class AbnormalGroupProcessor:
     """Detects abnormal groups and merges them into their nearest normal group."""
 
-    def __init__(self, config: Optional[MLNCleanConfig] = None):
+    def __init__(
+        self,
+        config: Optional[MLNCleanConfig] = None,
+        engine: Optional[DistanceEngine] = None,
+    ):
         self.config = config or MLNCleanConfig()
-        self._metric: DistanceMetric = self.config.metric()
+        #: the shared distance engine; the pipeline overrides this with the
+        #: run-wide instance so AGP, RSC and the other stages share one cache
+        self.engine: DistanceEngine = (
+            engine if engine is not None else self.config.engine()
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -83,7 +91,13 @@ class AbnormalGroupProcessor:
             for key, group in block.groups.items()
             if group.tuple_count <= threshold
         ]
-        normal_keys = {key for key in block.groups if key not in set(abnormal_keys)}
+        abnormal_set = set(abnormal_keys)
+        # Sorted once per block (hoisted out of the per-abnormal-group loop):
+        # the best-so-far search below is order-independent in its *result*
+        # (strict improvement plus a smallest-key tie-break), but a canonical
+        # order keeps its distance-call counts reproducible across processes
+        # regardless of set-iteration (hash) order.
+        normal_keys = sorted(key for key in block.groups if key not in abnormal_set)
 
         if clean_lookup is not None:
             outcome.counts.real_abnormal_groups = self._count_real_abnormal(
@@ -127,20 +141,29 @@ class AbnormalGroupProcessor:
         self,
         block: Block,
         abnormal_key: tuple[str, ...],
-        normal_keys: set[tuple[str, ...]],
+        normal_keys: list[tuple[str, ...]],
     ) -> Optional[tuple[str, ...]]:
-        """The normal group whose representative γ* is closest to ours."""
+        """The normal group whose representative γ* is closest to ours.
+
+        Best-so-far search: the running best distance is passed to the engine
+        as a cutoff, so clearly-farther candidates are abandoned mid-matrix
+        (or pruned outright on the length bound) instead of being measured
+        exactly.  Candidates at or below the running best — including ties —
+        still come back exact, so the selected group is identical to the one
+        an exhaustive scan picks.
+        """
         if not normal_keys:
             return None
         abnormal_repr = block.groups[abnormal_key].representative()
+        engine = self.engine
         best_key: Optional[tuple[str, ...]] = None
         best_distance = float("inf")
         for key in normal_keys:
             if key not in block.groups:
                 continue
             candidate_repr = block.groups[key].representative()
-            distance = self._metric.values_distance(
-                abnormal_repr.values, candidate_repr.values
+            distance = engine.values_distance(
+                abnormal_repr.values, candidate_repr.values, cutoff=best_distance
             )
             if distance < best_distance or (
                 distance == best_distance

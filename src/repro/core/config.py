@@ -15,9 +15,11 @@ Every parameter the paper varies in its experiments is exposed here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.distance.base import DistanceMetric, get_metric
 from repro.mln.weights import WeightLearningConfig
+from repro.perf.engine import DistanceEngine
 
 
 @dataclass
@@ -42,6 +44,13 @@ class MLNCleanConfig:
     remove_duplicates: bool = True
     #: collect per-stage component metrics when a ground truth is available
     instrument: bool = True
+    #: memoise pair distances in the shared :class:`repro.perf.DistanceEngine`
+    #: (exact-only cache: disabling it never changes any cleaning decision,
+    #: it only re-computes distances from scratch)
+    distance_cache: bool = True
+    #: flush-on-full bound for the pair cache (``None`` = unbounded); a full
+    #: cache is cleared wholesale rather than evicted entry-wise
+    distance_cache_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.abnormal_threshold < 0:
@@ -50,12 +59,23 @@ class MLNCleanConfig:
             raise ValueError("fscr_exhaustive_limit must be >= 1")
         if self.fscr_minimality_bias < 0:
             raise ValueError("fscr_minimality_bias must be >= 0")
+        if self.distance_cache_entries is not None and self.distance_cache_entries < 1:
+            raise ValueError("distance_cache_entries must be >= 1 (or None)")
         # Fail fast on unknown metric names instead of deep inside Stage I.
         get_metric(self.distance_metric)
 
     def metric(self) -> DistanceMetric:
         """Instantiate the configured distance metric."""
         return get_metric(self.distance_metric)
+
+    def engine(self, track_values: bool = False) -> DistanceEngine:
+        """A fresh :class:`~repro.perf.DistanceEngine` honouring this config.
+
+        One engine is built per cleaning run and shared by every stage
+        (``track_values=True`` additionally reference-counts values so the
+        streaming cleaner can invalidate cache entries of evicted tuples).
+        """
+        return DistanceEngine.from_config(self, track_values=track_values)
 
     def with_threshold(self, abnormal_threshold: int) -> "MLNCleanConfig":
         """A copy with a different AGP threshold (used by the τ sweeps)."""

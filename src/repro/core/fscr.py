@@ -31,6 +31,7 @@ from repro.core.config import MLNCleanConfig
 from repro.core.index import Block, DataPiece
 from repro.dataset.table import Cell, Table
 from repro.metrics.component import StageCounts
+from repro.perf.engine import DistanceEngine
 
 CleanLookup = Callable[[int], dict[str, str]]
 
@@ -69,13 +70,26 @@ class FSCROutcome:
     fusions: dict[int, TupleFusion] = field(default_factory=dict)
     failed_tuples: list[int] = field(default_factory=list)
     counts: StageCounts = field(default_factory=StageCounts)
+    #: tuples whose fusion was served from the per-resolve signature memo
+    #: (tuples with identical data versions and identical current values
+    #: fuse identically, so the order search runs once per signature)
+    memo_hits: int = 0
 
 
 class FusionScoreResolver:
     """Derives the unified clean table from the per-block data versions."""
 
-    def __init__(self, config: Optional[MLNCleanConfig] = None):
+    def __init__(
+        self,
+        config: Optional[MLNCleanConfig] = None,
+        engine: Optional[DistanceEngine] = None,
+    ):
         self.config = config or MLNCleanConfig()
+        #: shared distance engine of the run; FSCR computes no distances, but
+        #: interning fusion-signature strings in the engine's pool keeps the
+        #: memo keys below cheap to hash and equal-by-identity across the
+        #: many tuples that share the same data versions
+        self.engine: Optional[DistanceEngine] = engine
 
     # ------------------------------------------------------------------
     # public API
@@ -97,16 +111,37 @@ class FusionScoreResolver:
         tid_versions = self._versions_by_tid(blocks, set(dirty.tids))
         block_candidates = self._candidates_by_block(blocks)
 
+        # Fusion depends only on the tuple's data versions (γ values and
+        # weights per block, in block order) and its current row values — not
+        # on the tuple id.  Duplicate entities share both, so the order
+        # search runs once per distinct signature and its outcome is replayed
+        # for every other tuple carrying it.
+        memo: dict[object, Optional[tuple[dict[str, str], float, frozenset, int]]] = {}
         for tid in dirty.tids:
             versions = tid_versions.get(tid, [])
             if not versions:
                 continue
-            fusion = self._fuse_tuple(
-                tid, versions, block_candidates, dirty.row(tid).as_dict()
-            )
-            if fusion is None:
+            current_values = dirty.row(tid).as_dict()
+            signature = self._fusion_signature(versions, current_values)
+            if signature in memo:
+                outcome.memo_hits += 1
+                cached = memo[signature]
+            else:
+                cached = self._fuse_signature(
+                    versions, block_candidates, current_values
+                )
+                memo[signature] = cached
+            if cached is None:
                 outcome.failed_tuples.append(tid)
                 continue
+            assignment, f_score, conflicted, substitutions = cached
+            fusion = TupleFusion(
+                tid=tid,
+                assignment=dict(assignment),
+                f_score=f_score,
+                conflicted_attributes=set(conflicted),
+                substitutions=substitutions,
+            )
             outcome.fusions[tid] = fusion
             for attribute, value in fusion.assignment.items():
                 repaired.set_value(tid, attribute, value)
@@ -115,36 +150,50 @@ class FusionScoreResolver:
             self._instrument(outcome, dirty, repaired, clean_lookup, dirty_cells)
         return outcome
 
+    def _fusion_signature(
+        self,
+        versions: list[tuple[Block, DataPiece]],
+        current_values: dict[str, str],
+    ) -> tuple:
+        """A hashable identity of everything a fusion decision depends on."""
+        intern = self.engine.intern if self.engine is not None else (lambda v: v)
+        return (
+            tuple(
+                (block.name, piece.values, piece.weight)
+                for block, piece in versions
+            ),
+            tuple(intern(value) for value in current_values.values()),
+        )
+
     # ------------------------------------------------------------------
     # fusion search
     # ------------------------------------------------------------------
-    def _fuse_tuple(
+    def _fuse_signature(
         self,
-        tid: int,
         versions: list[tuple[Block, DataPiece]],
         block_candidates: dict[str, list[DataPiece]],
         current_values: dict[str, str],
-    ) -> Optional[TupleFusion]:
-        """The best fusion of one tuple's data versions (Algorithm 2)."""
+    ) -> Optional[tuple[dict[str, str], float, frozenset, int]]:
+        """The best fusion of one version signature (Algorithm 2).
+
+        Returns ``(assignment, f_score, conflicted_attributes,
+        substitutions)`` — everything a :class:`TupleFusion` needs except the
+        tuple id — or ``None`` when every merge order fails.
+        """
         conflicted_attributes: set[str] = set()
-        best: Optional[TupleFusion] = None
+        best: Optional[tuple[dict[str, str], float, int]] = None
         for order in self._merge_orders(versions):
             attempt = self._try_order(
                 order, block_candidates, conflicted_attributes, current_values
             )
             if attempt is None:
                 continue
-            assignment, f_score, substitutions = attempt
-            if best is None or f_score > best.f_score:
-                best = TupleFusion(
-                    tid=tid,
-                    assignment=assignment,
-                    f_score=f_score,
-                    substitutions=substitutions,
-                )
-        if best is not None:
-            best.conflicted_attributes = conflicted_attributes
-        return best
+            if best is None or attempt[1] > best[1]:
+                best = attempt
+        if best is None:
+            return None
+        assignment, f_score, substitutions = best
+        return assignment, f_score, frozenset(conflicted_attributes), substitutions
 
     def _merge_orders(
         self, versions: list[tuple[Block, DataPiece]]

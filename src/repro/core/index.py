@@ -28,7 +28,7 @@ class DataPiece:
     ``weight`` is the Markov weight learned for the γ's ground clause.
     """
 
-    __slots__ = ("rule", "reason_values", "result_values", "tids", "weight")
+    __slots__ = ("rule", "reason_values", "result_values", "values", "tids", "weight")
 
     def __init__(
         self,
@@ -40,6 +40,11 @@ class DataPiece:
         self.rule = rule
         self.reason_values = reason_values
         self.result_values = result_values
+        #: reason values followed by result values — precomputed because the
+        #: AGP / RSC distance loops read it once per pair, and the value
+        #: parts never change after construction (repairs replace γs rather
+        #: than mutating them)
+        self.values: tuple[str, ...] = reason_values + result_values
         self.tids: list[int] = list(tids) if tids is not None else []
         self.weight: float = 0.0
 
@@ -52,11 +57,6 @@ class DataPiece:
     def support(self) -> int:
         """Number of tuples related to this γ (``c(γ)``)."""
         return len(self.tids)
-
-    @property
-    def values(self) -> tuple[str, ...]:
-        """Reason values followed by result values."""
-        return self.reason_values + self.result_values
 
     def as_assignment(self) -> dict[str, str]:
         """The γ as an attribute → value mapping over the rule's attributes."""

@@ -35,11 +35,11 @@ from repro.constraints.rules import Rule
 from repro.core.config import MLNCleanConfig
 from repro.core.index import MLNIndex
 from repro.core.report import CleaningReport
-from repro.core.stages import StageContext, build_stages
+from repro.core.stages import DEFAULT_STAGES, StageContext, build_stages
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import evaluate_repair
-from repro.metrics.timing import TimingBreakdown
+from repro.metrics.timing import PerfDetails, TimingBreakdown
 
 
 class MLNClean:
@@ -55,15 +55,31 @@ class MLNClean:
     sequence of registered stage names (see :mod:`repro.core.stages`);
     ``None`` keeps the paper's AGP → RSC → FSCR → dedup sequence, with the
     dedup stage honouring ``config.remove_duplicates``.
+
+    ``parallelism=N`` (N > 1) cleans the independent Stage-I blocks in N
+    worker processes and merges their outcomes deterministically — the
+    cleaned table, F1 and stage outcomes are bit-identical to a serial run;
+    only wall-clock changes.  Parallel Stage I requires the default stage
+    order (custom sequences may interleave Stage-I stages with stages that
+    observe cross-block state, so they stay serial).
     """
 
     def __init__(
         self,
         config: Optional[MLNCleanConfig] = None,
         stages: Optional[Sequence[str]] = None,
+        parallelism: int = 1,
     ):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if parallelism > 1 and stages is not None:
+            raise ValueError(
+                "parallel Stage I requires the default stage order; "
+                "drop the custom stages or run with parallelism=1"
+            )
         self.config = config or MLNCleanConfig()
         self.stages = list(stages) if stages is not None else None
+        self.parallelism = parallelism
 
     def clean(
         self,
@@ -82,6 +98,10 @@ class MLNClean:
         timings = TimingBreakdown()
         instrument = self.config.instrument and ground_truth is not None
         context = StageContext(dirty=dirty, rules=list(rules), config=self.config)
+        # One shared distance engine for the whole run: AGP, RSC, FSCR and
+        # dedup all read/write the same cache, and its counters end up in the
+        # report's PerfDetails.
+        context.engine = self.config.engine()
         if instrument:
             clean_reference = ground_truth.clean_table(dirty)
 
@@ -97,7 +117,7 @@ class MLNClean:
             context.blocks = index.block_list
 
         # The stage sequence (Stage I lines 14-17, Stage II line 18 + dedup).
-        for stage in build_stages(self.stages, self.config):
+        for stage in self._build_stage_sequence():
             with timings.time(stage.name):
                 stage.run(context)
 
@@ -121,7 +141,34 @@ class MLNClean:
             dedup=context.dedup,
             accuracy=accuracy,
             backend="batch",
+            details=PerfDetails(
+                timings=timings.as_dict(),
+                distance=context.engine.stats.as_dict(),
+                parallelism=self.parallelism,
+            ),
         )
+
+    def _build_stage_sequence(self):
+        """The stage instances of this run.
+
+        Serial runs use the registered stages verbatim; ``parallelism>1``
+        fuses the leading ``agp`` + ``rsc`` pair into one process-parallel
+        Stage-I step and keeps Stage II (fscr, dedup) serial.
+        """
+        if self.parallelism <= 1:
+            return build_stages(self.stages, self.config)
+        from repro.perf.parallel import ParallelStageOne
+
+        stage_two = [
+            name
+            for name in DEFAULT_STAGES
+            if name not in ("agp", "rsc")
+            and (name != "dedup" or self.config.remove_duplicates)
+        ]
+        return [
+            ParallelStageOne(self.config, self.parallelism),
+            *build_stages(stage_two, self.config),
+        ]
 
     def clean_table(self, dirty: Table, rules: Sequence[Rule]) -> Table:
         """Convenience wrapper returning only the cleaned table."""

@@ -26,9 +26,9 @@ from typing import Callable, Optional
 
 from repro.core.config import MLNCleanConfig
 from repro.core.index import Block, DataPiece, Group
-from repro.distance.base import DistanceMetric
 from repro.metrics.component import StageCounts
 from repro.mln.weights import learn_group_weights
+from repro.perf.engine import DistanceEngine
 
 CleanLookup = Callable[[int], dict[str, str]]
 
@@ -63,9 +63,18 @@ class RSCOutcome:
 class ReliabilityScoreCleaner:
     """Learns block weights and resolves every group to a single γ."""
 
-    def __init__(self, config: Optional[MLNCleanConfig] = None):
+    def __init__(
+        self,
+        config: Optional[MLNCleanConfig] = None,
+        engine: Optional[DistanceEngine] = None,
+    ):
         self.config = config or MLNCleanConfig()
-        self._metric: DistanceMetric = self.config.metric()
+        #: the shared distance engine; persists across calls, so re-cleaning
+        #: an unchanged block (streaming replay) re-reads every γ-pair
+        #: distance from the cache instead of re-running the metric
+        self.engine: DistanceEngine = (
+            engine if engine is not None else self.config.engine()
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -146,14 +155,32 @@ class ReliabilityScoreCleaner:
         gammas = group.gammas
         if len(gammas) < 2:
             return {piece: 1.0 for piece in gammas}
-        raw: dict[DataPiece, float] = {}
-        for piece in gammas:
-            min_distance = min(
-                self._metric.values_distance(piece.values, other.values)
-                for other in gammas
-                if other is not piece
-            )
-            raw[piece] = piece.support * min_distance
+        # Per-group invariants are hoisted out of the γ loop: the value
+        # tuples are materialised once, and the min-distance of *every* γ is
+        # derived from a single pass over the unordered pairs (distance is
+        # symmetric, so each pair updates both sides — half the evaluations
+        # of the naive per-γ scan even before caching).  The running mins
+        # double as the engine cutoff: a pair provably farther than both
+        # current mins can be abandoned mid-matrix without affecting either.
+        engine = self.engine
+        count = len(gammas)
+        values = [piece.values for piece in gammas]
+        mins = [math.inf] * count
+        for i in range(count):
+            left = values[i]
+            min_i = mins[i]
+            for j in range(i + 1, count):
+                min_j = mins[j]
+                cutoff = min_i if min_i >= min_j else min_j
+                distance = engine.values_distance(left, values[j], cutoff=cutoff)
+                if distance < min_i:
+                    min_i = distance
+                if distance < min_j:
+                    mins[j] = distance
+            mins[i] = min_i
+        raw: dict[DataPiece, float] = {
+            piece: piece.support * mins[index] for index, piece in enumerate(gammas)
+        }
         # Z normalises n·d into [0, 1] within the group.
         normaliser = max(raw.values()) or 1.0
         max_weight = max(piece.weight for piece in gammas)

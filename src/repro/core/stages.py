@@ -37,6 +37,7 @@ from repro.core.fscr import FusionScoreResolver
 from repro.core.index import Block
 from repro.core.rsc import ReliabilityScoreCleaner
 from repro.dataset.table import Cell, Table
+from repro.perf.engine import DistanceEngine
 from repro.registry import Registry
 
 #: tid → ground-truth clean values of that tuple (instrumentation only)
@@ -67,6 +68,9 @@ class StageContext:
     dedup: Optional[DeduplicationResult] = None
     #: stage name → that stage's outcome object
     outcomes: dict[str, object] = field(default_factory=dict)
+    #: the run-wide shared distance engine (set by the pipeline so AGP, RSC,
+    #: FSCR and dedup share one cache; ``None`` keeps per-stage defaults)
+    engine: Optional[DistanceEngine] = None
 
 
 @runtime_checkable
@@ -90,6 +94,8 @@ class AGPStage:
         self._processor = AbnormalGroupProcessor(config)
 
     def run(self, context: StageContext) -> None:
+        if context.engine is not None:
+            self._processor.engine = context.engine
         context.outcomes[self.name] = self._processor.process_index(
             context.blocks, context.clean_lookup
         )
@@ -104,6 +110,8 @@ class RSCStage:
         self._cleaner = ReliabilityScoreCleaner(config)
 
     def run(self, context: StageContext) -> None:
+        if context.engine is not None:
+            self._cleaner.engine = context.engine
         context.outcomes[self.name] = self._cleaner.clean_index(
             context.blocks, context.clean_lookup
         )
@@ -118,6 +126,8 @@ class FSCRStage:
         self._resolver = FusionScoreResolver(config)
 
     def run(self, context: StageContext) -> None:
+        if context.engine is not None:
+            self._resolver.engine = context.engine
         outcome = self._resolver.resolve(
             context.dirty, context.blocks, context.clean_lookup, context.dirty_cells
         )
@@ -149,7 +159,7 @@ class DedupStage:
                 "the dedup stage needs a repaired table: order it after a "
                 "stage that produces one (normally fscr)"
             )
-        result = remove_duplicates(context.repaired)
+        result = remove_duplicates(context.repaired, context.engine)
         context.outcomes[self.name] = result
         context.dedup = result
         context.cleaned = result.deduplicated

@@ -24,6 +24,14 @@ class DistanceMetric(ABC):
 
     #: short name used by the registry and experiment configuration
     name: str = "abstract"
+    #: whether common prefix/suffix stripping preserves this metric's
+    #: distances (true for the Levenshtein family); enables the shared
+    #: fast-path preprocessing of :class:`repro.perf.DistanceEngine`
+    affix_safe: bool = False
+    #: whether the banded early-exit search of
+    #: :meth:`repro.perf.DistanceEngine.bounded_distance` computes this
+    #: metric exactly (only plain Levenshtein)
+    supports_banded: bool = False
 
     @abstractmethod
     def distance(self, left: str, right: str) -> float:

@@ -1,0 +1,134 @@
+"""Shared algorithmic fast paths for edit-distance metrics.
+
+Three classic accelerations, factored out so the Levenshtein and
+Damerau-Levenshtein metrics (and the :class:`repro.perf.DistanceEngine`
+wrapping them) all run through the identical preprocessing:
+
+* **common affix stripping** — characters shared at the start and end of both
+  strings never participate in an optimal edit script, so they are removed
+  before the ``O(m·n)`` dynamic program runs.  Safe for plain Levenshtein and
+  for the restricted Damerau variant (a transposition never spans the
+  boundary of a maximal common affix).
+* **length-difference lower bound** — ``|len(a) − len(b)| ≤ d(a, b)``, which
+  settles one-sided-empty cases outright and lets a bounded search refuse
+  obviously-far pairs without touching the matrix.
+* **banded early-exit search** — :func:`bounded_levenshtein` only fills the
+  diagonal band of half-width ``k`` and abandons as soon as every entry of a
+  row exceeds ``k``; the answer is exact whenever the true distance is at
+  most ``k`` (an optimal alignment with cost ``≤ k`` never leaves the band).
+"""
+
+from __future__ import annotations
+
+
+def strip_common_affixes(left: str, right: str) -> "tuple[str, str]":
+    """Remove the longest common prefix and suffix of the two strings.
+
+    Distance-preserving for the Levenshtein family: an optimal edit script
+    can always keep shared leading/trailing characters untouched.
+    """
+    if not left or not right:
+        return left, right
+    # common prefix
+    start = 0
+    limit = min(len(left), len(right))
+    while start < limit and left[start] == right[start]:
+        start += 1
+    # common suffix (never overlapping the stripped prefix)
+    end_left, end_right = len(left), len(right)
+    while (
+        end_left > start
+        and end_right > start
+        and left[end_left - 1] == right[end_right - 1]
+    ):
+        end_left -= 1
+        end_right -= 1
+    return left[start:end_left], right[start:end_right]
+
+
+def trivial_edit_distance(left: str, right: str) -> "float | None":
+    """The edit distance of an affix-stripped pair when no matrix is needed.
+
+    ``None`` means both sides are non-empty and a dynamic program must run.
+    After affix stripping, one-sided-empty pairs cost exactly the length of
+    the other side (pure insertions/deletions) for Levenshtein and for the
+    restricted Damerau variant alike.
+    """
+    if left == right:
+        return 0.0
+    if not left:
+        return float(len(right))
+    if not right:
+        return float(len(left))
+    return None
+
+
+def bounded_levenshtein(left: str, right: str, radius: int) -> "tuple[float, bool]":
+    """Banded Levenshtein distance with early exit.
+
+    Returns ``(value, exact)``.  ``exact`` is ``True`` iff the true distance
+    is at most ``radius`` — then ``value`` is that distance.  Otherwise
+    ``value`` is a lower bound of the true distance that is strictly greater
+    than ``radius`` (``radius + 1``, or the length difference when that alone
+    already exceeds the radius).
+
+    Expects the caller to have handled equal strings and empty sides (see
+    :func:`trivial_edit_distance`).
+    """
+    len_left, len_right = len(left), len(right)
+    if len_right > len_left:
+        left, right = right, left
+        len_left, len_right = len_right, len_left
+    if len_left - len_right > radius:
+        return float(len_left - len_right), False
+    if radius >= len_left:
+        # The band covers the whole matrix; fall back to the classic rolling
+        # row, which is cheaper than band bookkeeping at this size.
+        previous = list(range(len_right + 1))
+        for i, char_left in enumerate(left, start=1):
+            current = [i]
+            for j, char_right in enumerate(right, start=1):
+                current.append(
+                    min(
+                        current[j - 1] + 1,
+                        previous[j] + 1,
+                        previous[j - 1] + (char_left != char_right),
+                    )
+                )
+            previous = current
+        distance = previous[-1]
+        return float(distance), distance <= radius
+    big = radius + 1
+    # previous row covers columns previous_lo .. previous_lo + len(previous) - 1
+    previous_lo = 0
+    previous = list(range(min(len_right, radius) + 1))
+    for i in range(1, len_left + 1):
+        lo = i - radius if i > radius else 0
+        hi = min(len_right, i + radius)
+        char_left = left[i - 1]
+        current: list[int] = []
+        row_min = big
+        for j in range(lo, hi + 1):
+            if j == 0:
+                cost = i
+            else:
+                index = j - 1 - previous_lo
+                substitute = (
+                    previous[index] if 0 <= index < len(previous) else big
+                ) + (char_left != right[j - 1])
+                index += 1
+                delete = (previous[index] if 0 <= index < len(previous) else big) + 1
+                insert = (current[j - 1 - lo] + 1) if j > lo else big
+                cost = min(substitute, delete, insert)
+            current.append(cost)
+            if cost < row_min:
+                row_min = cost
+        if row_min > radius:
+            # Every continuation only grows: the true distance exceeds the
+            # radius, and (being integral) is at least radius + 1.
+            return float(big), False
+        previous, previous_lo = current, lo
+    distance = previous[len_right - previous_lo]
+    if distance > radius:
+        return float(big), False
+    return float(distance), True

@@ -4,25 +4,39 @@ The Levenshtein distance is the paper's default metric: "the Levenshtein
 distance just decides how many different characters between two strings,
 regardless of the positions of those characters" (Section 7.3.3), which makes
 it robust to typos wherever they occur in the value.
+
+Both edit-distance variants route through the shared fast-path preprocessing
+of :mod:`repro.distance.fastpath` (common affix stripping plus the trivial
+empty/equal cases) before falling back to their ``O(m·n)`` dynamic programs,
+so the distance-metric ablation compares like with like and the
+:class:`repro.perf.DistanceEngine` can rely on identical semantics.
 """
 
 from __future__ import annotations
 
 from repro.distance.base import DistanceMetric, register_metric
+from repro.distance.fastpath import strip_common_affixes, trivial_edit_distance
 
 
 class LevenshteinDistance(DistanceMetric):
     """Classic Levenshtein (insert / delete / substitute) edit distance."""
 
     name = "levenshtein"
+    #: common affix stripping preserves this metric's distances
+    affix_safe = True
+    #: the banded bounded search of repro.perf computes this metric exactly
+    supports_banded = True
 
     def distance(self, left: str, right: str) -> float:
-        if left == right:
-            return 0.0
-        if not left:
-            return float(len(right))
-        if not right:
-            return float(len(left))
+        left, right = strip_common_affixes(left, right)
+        trivial = trivial_edit_distance(left, right)
+        if trivial is not None:
+            return trivial
+        return self._dp_distance(left, right)
+
+    @staticmethod
+    def _dp_distance(left: str, right: str) -> float:
+        """The classic rolling-row dynamic program (no preprocessing)."""
         # Keep the shorter string in the inner dimension to bound memory.
         if len(right) > len(left):
             left, right = right, left
@@ -45,18 +59,25 @@ class DamerauLevenshteinDistance(DistanceMetric):
     """Levenshtein extended with adjacent-character transpositions.
 
     Not used by the paper, but a natural alternative for typo-heavy data; it is
-    exposed so the distance-metric ablation can include it.
+    exposed so the distance-metric ablation can include it.  The restricted
+    (optimal-string-alignment) variant is implemented; affix stripping is safe
+    for it because a transposition never pays off across the boundary of a
+    maximal common prefix or suffix.
     """
 
     name = "damerau"
+    affix_safe = True
 
     def distance(self, left: str, right: str) -> float:
-        if left == right:
-            return 0.0
-        if not left:
-            return float(len(right))
-        if not right:
-            return float(len(left))
+        left, right = strip_common_affixes(left, right)
+        trivial = trivial_edit_distance(left, right)
+        if trivial is not None:
+            return trivial
+        return self._dp_distance(left, right)
+
+    @staticmethod
+    def _dp_distance(left: str, right: str) -> float:
+        """The full-matrix restricted Damerau dynamic program."""
         len_l, len_r = len(left), len(right)
         # (len_l + 1) x (len_r + 1) matrix of the restricted Damerau distance.
         rows: list[list[int]] = [

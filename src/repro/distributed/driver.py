@@ -21,18 +21,18 @@ parallel makespan are reported, which is what Figure 15 and Table 6 need.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.constraints.rules import Rule
-from repro.core.agp import AbnormalGroupProcessor
+from repro.core.agp import AbnormalGroupProcessor, AGPOutcome
 from repro.core.config import MLNCleanConfig
 from repro.core.dedup import DeduplicationResult, remove_duplicates
 from repro.core.fscr import FusionScoreResolver
 from repro.core.index import Block, MLNIndex
 from repro.core.report import CleaningReport
-from repro.core.rsc import ReliabilityScoreCleaner
+from repro.core.rsc import ReliabilityScoreCleaner, RSCOutcome
 from repro.dataset.table import Table
 from repro.distributed.executor import SimulatedCluster
 from repro.distributed.partition import DataPartitioner, PartitionResult
@@ -40,6 +40,27 @@ from repro.distributed.weights import GammaKey, GlobalWeightStore, fuse_weights
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
 from repro.metrics.timing import TimingBreakdown
+from repro.perf.engine import DistanceEngine
+
+
+def merge_stage_outcomes(
+    agp_outcomes: Iterable[AGPOutcome],
+    rsc_outcomes: Iterable[RSCOutcome],
+) -> tuple[AGPOutcome, RSCOutcome]:
+    """Deterministically fold per-worker / per-block Stage-I outcomes.
+
+    The fold order is the iteration order of the inputs, which callers keep
+    at partition order (distributed driver) or block order (the batch
+    backend's ``parallelism=N`` mode), so merged ``StageCounts``, merge lists
+    and repair lists are identical to what a serial run accumulates.
+    """
+    agp_total = AGPOutcome()
+    for outcome in agp_outcomes:
+        agp_total.extend(outcome)
+    rsc_total = RSCOutcome()
+    for outcome in rsc_outcomes:
+        rsc_total.extend(outcome)
+    return agp_total, rsc_total
 
 
 @dataclass
@@ -49,6 +70,7 @@ class _LearnPhaseOutput:
     part_index: int
     blocks: list[Block]
     local_weights: dict[GammaKey, tuple[int, float]]
+    agp: AGPOutcome = field(default_factory=AGPOutcome)
 
 
 @dataclass
@@ -57,6 +79,7 @@ class _CleanPhaseOutput:
 
     part_index: int
     blocks: list[Block]
+    rsc: RSCOutcome = field(default_factory=RSCOutcome)
 
 
 @dataclass
@@ -73,6 +96,13 @@ class DistributedReport:
     makespan_seconds: float = 0.0
     dedup: Optional[DeduplicationResult] = None
     accuracy: Optional[RepairAccuracy] = None
+    #: merged Stage-I drill-down across all partitions (uninstrumented: the
+    #: workers run without a ground truth, so the counts stay zero but the
+    #: merge / repair listings are populated)
+    agp: Optional[AGPOutcome] = None
+    rsc: Optional[RSCOutcome] = None
+    #: counters of the run's shared distance engine
+    distance_stats: Optional[dict] = None
 
     @property
     def runtime(self) -> float:
@@ -150,7 +180,13 @@ class DistributedMLNClean:
             raise ValueError("distributed MLNClean needs at least one rule")
         driver_timings = TimingBreakdown()
         cluster = SimulatedCluster(self.workers)
-        partitioner = self.partitioner or self._default_partitioner(dirty, rules)
+        # One engine for the whole run: the simulated workers execute
+        # in-process, so partitioning, both worker phases and the gather step
+        # share a single distance cache (value pairs recur across partitions).
+        engine = self.config.engine()
+        partitioner = self.partitioner or self._default_partitioner(
+            dirty, rules, engine
+        )
 
         with driver_timings.time("partition"):
             partition = partitioner.partition(dirty)
@@ -158,7 +194,7 @@ class DistributedMLNClean:
 
         learn_results = cluster.map(
             "learn",
-            lambda part: self._learn_phase(part[0], part[1], rules),
+            lambda part: self._learn_phase(part[0], part[1], rules, engine),
             list(enumerate(part_tables)),
         )
         learn_outputs = [result.value for result in learn_results]
@@ -168,7 +204,7 @@ class DistributedMLNClean:
 
         clean_results = cluster.map(
             "clean",
-            lambda output: self._clean_phase(output, store),
+            lambda output: self._clean_phase(output, store, engine),
             learn_outputs,
         )
         clean_outputs = [result.value for result in clean_results]
@@ -181,15 +217,19 @@ class DistributedMLNClean:
             all_blocks = [
                 block for output in clean_outputs for block in output.blocks
             ]
-            fscr = FusionScoreResolver(self.config)
+            fscr = FusionScoreResolver(self.config, engine=engine)
             fscr_outcome = fscr.resolve(dirty, all_blocks)
             repaired = fscr_outcome.repaired
             repaired.name = f"{dirty.name}-distributed"
             dedup_result = None
             cleaned = repaired
             if self.config.remove_duplicates:
-                dedup_result = remove_duplicates(repaired)
+                dedup_result = remove_duplicates(repaired, engine)
                 cleaned = dedup_result.deduplicated
+            agp_total, rsc_total = merge_stage_outcomes(
+                (output.agp for output in learn_outputs),
+                (output.rsc for output in clean_outputs),
+            )
 
         accuracy = None
         if ground_truth is not None:
@@ -206,9 +246,17 @@ class DistributedMLNClean:
             makespan_seconds=cluster.makespan_seconds,
             dedup=dedup_result,
             accuracy=accuracy,
+            agp=agp_total,
+            rsc=rsc_total,
+            distance_stats=engine.stats.as_dict(),
         )
 
-    def _default_partitioner(self, dirty: Table, rules: Sequence[Rule]) -> DataPartitioner:
+    def _default_partitioner(
+        self,
+        dirty: Table,
+        rules: Sequence[Rule],
+        engine: Optional[DistanceEngine] = None,
+    ) -> DataPartitioner:
         """Algorithm-3 partitioner measuring distance on the rule attributes.
 
         Restricting the distance to the attributes the rules constrain keeps
@@ -223,7 +271,9 @@ class DistributedMLNClean:
                     attributes.append(attribute)
         return DataPartitioner(
             parts=self.workers,
-            metric=self.config.metric(),
+            # the engine duck-types as a metric (values_distance) and caches
+            # the centroid comparisons the heap maintenance keeps re-asking
+            metric=engine if engine is not None else self.config.metric(),
             sample_attributes=attributes or None,
         )
 
@@ -231,7 +281,11 @@ class DistributedMLNClean:
     # worker phases
     # ------------------------------------------------------------------
     def _learn_phase(
-        self, part_index: int, part: Table, rules: Sequence[Rule]
+        self,
+        part_index: int,
+        part: Table,
+        rules: Sequence[Rule],
+        engine: Optional[DistanceEngine] = None,
     ) -> _LearnPhaseOutput:
         """Index construction, AGP and local weight learning on one part.
 
@@ -244,9 +298,9 @@ class DistributedMLNClean:
         index = MLNIndex.build(part, rules)
         partition_threshold = max(1, self.config.abnormal_threshold // self.workers)
         partition_config = self.config.with_threshold(partition_threshold)
-        agp = AbnormalGroupProcessor(partition_config)
-        agp.process_index(index.block_list)
-        rsc = ReliabilityScoreCleaner(self.config)
+        agp = AbnormalGroupProcessor(partition_config, engine=engine)
+        agp_outcome = agp.process_index(index.block_list)
+        rsc = ReliabilityScoreCleaner(self.config, engine=engine)
         local_weights: dict[GammaKey, tuple[int, float]] = {}
         for block in index.block_list:
             rsc.learn_block_weights(block)
@@ -254,10 +308,15 @@ class DistributedMLNClean:
                 key: GammaKey = (block.name, piece.reason_values, piece.result_values)
                 support, weight = local_weights.get(key, (0, 0.0))
                 local_weights[key] = (support + piece.support, piece.weight)
-        return _LearnPhaseOutput(part_index, index.block_list, local_weights)
+        return _LearnPhaseOutput(
+            part_index, index.block_list, local_weights, agp=agp_outcome
+        )
 
     def _clean_phase(
-        self, learn_output: _LearnPhaseOutput, store: GlobalWeightStore
+        self,
+        learn_output: _LearnPhaseOutput,
+        store: GlobalWeightStore,
+        engine: Optional[DistanceEngine] = None,
     ) -> _CleanPhaseOutput:
         """RSC with the Eq.-6 global weights on one part's blocks."""
         blocks = learn_output.blocks
@@ -265,6 +324,6 @@ class DistributedMLNClean:
             for piece in block.pieces:
                 key: GammaKey = (block.name, piece.reason_values, piece.result_values)
                 piece.weight = store.weight(key)
-        rsc = ReliabilityScoreCleaner(self.config)
-        rsc.clean_index(blocks, relearn_weights=False)
-        return _CleanPhaseOutput(learn_output.part_index, blocks)
+        rsc = ReliabilityScoreCleaner(self.config, engine=engine)
+        rsc_outcome = rsc.clean_index(blocks, relearn_weights=False)
+        return _CleanPhaseOutput(learn_output.part_index, blocks, rsc=rsc_outcome)

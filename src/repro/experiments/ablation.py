@@ -129,7 +129,9 @@ def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCl
 
         cleaner.reliability_scores = weight_only  # type: ignore[method-assign]
     elif variant == "distance_only":
-        metric = config.metric()
+        # the cleaner's shared engine keeps the variant's distance calls
+        # cached and pruned like the full score's
+        engine = cleaner.engine
 
         def distance_only(group):
             gammas = group.gammas
@@ -138,7 +140,7 @@ def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCl
             return {
                 piece: piece.support
                 * min(
-                    metric.values_distance(piece.values, other.values)
+                    engine.values_distance(piece.values, other.values)
                     for other in gammas
                     if other is not piece
                 )

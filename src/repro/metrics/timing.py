@@ -4,7 +4,9 @@ The paper reports runtimes alongside accuracy (Figures 6, 11, 15 and
 Table 6).  :class:`Stopwatch` measures individual phases and
 :class:`TimingBreakdown` accumulates them per named phase so the harness can
 report, e.g., how much of the total time is spent in weight learning (the
-paper attributes ~95 % of MLNClean's runtime to it).
+paper attributes ~95 % of MLNClean's runtime to it).  :class:`PerfDetails`
+bundles the per-stage timings with the run's distance-engine counters; the
+batch pipeline surfaces it as ``CleaningReport.details``.
 """
 
 from __future__ import annotations
@@ -84,3 +86,41 @@ class TimingBreakdown:
 
     def as_dict(self) -> dict[str, float]:
         return dict(self.phases)
+
+
+@dataclass
+class PerfDetails:
+    """Performance drill-down of one batch cleaning run.
+
+    Attached to :attr:`repro.core.report.CleaningReport.details` by the
+    batch pipeline: wall-clock per pipeline stage plus the shared
+    :class:`~repro.perf.DistanceEngine` counters (pair-distance calls, cache
+    hit rate, raw metric evaluations, prune counts), and the Stage-I worker
+    fan-out width of ``parallelism=N`` runs.
+    """
+
+    #: per-stage wall-clock seconds (a ``TimingBreakdown.as_dict()``)
+    timings: dict[str, float] = field(default_factory=dict)
+    #: the distance engine's counters (a ``DistanceStats.as_dict()``)
+    distance: dict[str, object] = field(default_factory=dict)
+    #: Stage-I worker processes of the run (1 = serial)
+    parallelism: int = 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "timings": dict(self.timings),
+            "distance": dict(self.distance),
+            "parallelism": self.parallelism,
+        }
+
+    def describe(self) -> str:
+        """One line for logs: total time, distance calls, hit rate."""
+        total = sum(self.timings.values())
+        calls = self.distance.get("calls", 0)
+        hit_rate = self.distance.get("hit_rate", 0.0)
+        raw = self.distance.get("raw_evaluations", 0)
+        return (
+            f"{total:.3f}s over {len(self.timings)} stages | "
+            f"distance calls {calls} (raw {raw}, hit rate {hit_rate}) | "
+            f"parallelism {self.parallelism}"
+        )

@@ -1,0 +1,25 @@
+"""Performance subsystem: the shared distance engine and parallel Stage I.
+
+:mod:`repro.perf.engine` provides the cached / pruned / early-exit
+:class:`DistanceEngine` every stage runs its string distances through;
+:mod:`repro.perf.parallel` fans independent Stage-I blocks out to worker
+processes for the batch backend's opt-in ``parallelism=N`` mode.
+
+``repro.perf.parallel`` is intentionally not imported here: it depends on the
+core stage processors (which themselves build engines), so importing it from
+the package root would be circular.  Import it explicitly where needed.
+"""
+
+from repro.perf.engine import (
+    DistanceEngine,
+    DistanceStats,
+    global_distance_stats,
+    reset_global_distance_stats,
+)
+
+__all__ = [
+    "DistanceEngine",
+    "DistanceStats",
+    "global_distance_stats",
+    "reset_global_distance_stats",
+]

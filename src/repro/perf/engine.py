@@ -1,0 +1,454 @@
+"""The shared fast-path distance engine.
+
+Every stage of MLNClean bottoms out in pairwise string distances — AGP is
+``O(|B| × |Ga| × |G − Ga|)`` and RSC's reliability score takes a min over all
+γ-pairs of a group — and the same value pairs recur across blocks, groups,
+micro-batches and partitions.  :class:`DistanceEngine` wraps any registered
+:class:`~repro.distance.base.DistanceMetric` with
+
+* a **symmetric pair-memo cache** with string interning and hit/miss
+  statistics (a distance between immutable strings never changes, so cached
+  results are exact by construction and caching cannot alter any cleaning
+  decision),
+* **algorithmic fast paths** for the edit-distance family: common
+  prefix/suffix stripping, the length-difference lower bound, and a banded
+  early-exit :meth:`bounded_distance` that abandons the matrix once the
+  cutoff is provably exceeded,
+* a cutoff-accumulating :meth:`values_distance` that short-circuits a tuple
+  distance as soon as the per-attribute running sum exceeds the cutoff.
+
+Contract of the bounded calls: ``bounded_distance(l, r, c)`` (and
+``values_distance(..., cutoff=c)``) returns the **exact** distance whenever
+it is ``≤ c``; otherwise it returns *some* value ``> c`` (a valid lower
+bound).  Callers doing best-so-far searches therefore get bit-identical
+results to exhaustive evaluation: candidates at or below the running best are
+measured exactly (including ties), candidates that cannot win are skipped.
+
+Statistics are mirrored into a process-global accumulator so the benchmark
+suite can report distance-call counts and cache hit rates per figure without
+reaching into every engine instance (see :func:`global_distance_stats`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.distance.base import DistanceMetric
+from repro.distance.fastpath import (
+    bounded_levenshtein,
+    strip_common_affixes,
+    trivial_edit_distance,
+)
+
+
+@dataclass
+class DistanceStats:
+    """Counters of one engine (or of the whole process, for the global copy)."""
+
+    #: pair-distance requests (exact and bounded, incl. those from
+    #: :meth:`DistanceEngine.values_distance`)
+    calls: int = 0
+    #: requests answered from the exact-pair cache
+    cache_hits: int = 0
+    #: requests settled without the metric: equal strings or one side empty
+    #: after affix stripping
+    trivial: int = 0
+    #: full runs of the wrapped metric's ``distance`` (the raw ``O(m·n)``
+    #: evaluations the engine exists to avoid)
+    raw_evaluations: int = 0
+    #: bounded requests refused by the length-difference lower bound
+    length_prunes: int = 0
+    #: bounded requests abandoned by the banded early-exit search
+    band_prunes: int = 0
+    #: bounded requests refused by a cached lower bound
+    lower_bound_hits: int = 0
+    #: value-tuple distance requests
+    value_calls: int = 0
+    #: value-tuple requests short-circuited before the last attribute
+    value_short_circuits: int = 0
+    #: cache flushes forced by the ``max_entries`` bound
+    cache_evictions: int = 0
+    #: cache entries dropped by value invalidation (streaming eviction)
+    invalidated_pairs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pair requests answered without any computation."""
+        if self.calls == 0:
+            return 0.0
+        return self.cache_hits / self.calls
+
+    def merge(self, other: "DistanceStats") -> "DistanceStats":
+        merged = DistanceStats()
+        for field in fields(DistanceStats):
+            setattr(
+                merged,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return merged
+
+    def diff(self, earlier: "DistanceStats") -> "DistanceStats":
+        """The counter deltas since an ``earlier`` snapshot."""
+        delta = DistanceStats()
+        for field in fields(DistanceStats):
+            setattr(
+                delta,
+                field.name,
+                getattr(self, field.name) - getattr(earlier, field.name),
+            )
+        return delta
+
+    def copy(self) -> "DistanceStats":
+        return DistanceStats().merge(self)
+
+    def as_dict(self) -> dict:
+        out = {field.name: getattr(self, field.name) for field in fields(DistanceStats)}
+        out["hit_rate"] = round(self.hit_rate, 4)
+        return out
+
+
+#: process-wide accumulator every engine mirrors its counters into
+_GLOBAL_STATS = DistanceStats()
+
+
+def global_distance_stats() -> DistanceStats:
+    """A snapshot of the process-wide distance counters."""
+    return _GLOBAL_STATS.copy()
+
+
+def reset_global_distance_stats() -> None:
+    """Zero the process-wide counters (test/benchmark isolation).
+
+    Mutates the accumulator in place — the module references it directly, so
+    rebinding is unnecessary and mutation keeps the reset race-free with
+    engines created before the reset.
+    """
+    for field in fields(DistanceStats):
+        setattr(_GLOBAL_STATS, field.name, 0)
+
+
+class DistanceEngine:
+    """Caches, prunes and early-exits the distances of one metric.
+
+    One engine is shared by every stage of a cleaning run (batch pipeline,
+    distributed driver, or the streaming engine, where it additionally
+    persists across micro-batches).  All results are exact — the cache stores
+    only exact distances, and bounded calls return exact values whenever the
+    distance is within the cutoff — so enabling or disabling the engine's
+    cache never changes a cleaning decision.
+    """
+
+    def __init__(
+        self,
+        metric: DistanceMetric,
+        cache: bool = True,
+        max_entries: Optional[int] = None,
+        track_values: bool = False,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.metric = metric
+        self.cache_enabled = cache
+        self.max_entries = max_entries
+        #: reference-count values so streaming eviction can invalidate
+        #: (i.e. drop) exactly the cache entries of values that left the
+        #: retained window
+        self.track_values = track_values
+        self.stats = DistanceStats()
+        self._exact: dict = {}
+        self._lower: dict = {}
+        self._interned: dict = {}
+        self._refcounts: dict = {}
+        self._pairs_by_value: dict = {}
+        self._affix_safe = bool(getattr(metric, "affix_safe", False))
+        self._banded = bool(getattr(metric, "supports_banded", False))
+
+    @classmethod
+    def from_config(cls, config, track_values: bool = False) -> "DistanceEngine":
+        """An engine honouring an :class:`~repro.core.config.MLNCleanConfig`."""
+        return cls(
+            config.metric(),
+            cache=config.distance_cache,
+            max_entries=config.distance_cache_entries,
+            track_values=track_values,
+        )
+
+    # ------------------------------------------------------------------
+    # interning and cache plumbing
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The wrapped metric's registry name (duck-types as a metric)."""
+        return self.metric.name
+
+    def intern(self, value: str) -> str:
+        """The canonical instance of ``value`` in this engine's pool."""
+        return self._interned.setdefault(value, value)
+
+    def intern_values(self, values: "Iterable[str]") -> "tuple[str, ...]":
+        return tuple(self.intern(value) for value in values)
+
+    def cache_size(self) -> int:
+        return len(self._exact)
+
+    def _pair_key(self, left: str, right: str):
+        left = self._interned.setdefault(left, left)
+        right = self._interned.setdefault(right, right)
+        return (left, right) if left <= right else (right, left)
+
+    def _flush_if_full(self) -> None:
+        """Wholesale flush once exact + lower-bound entries hit the bound.
+
+        Both dictionaries count toward ``max_entries`` — prune-heavy
+        workloads populate the lower-bound side almost exclusively, and a
+        bound that ignored it would not actually bound memory.
+        """
+        if (
+            self.max_entries is not None
+            and len(self._exact) + len(self._lower) >= self.max_entries
+        ):
+            self._exact.clear()
+            self._lower.clear()
+            self._pairs_by_value.clear()
+            self.stats.cache_evictions += 1
+            _GLOBAL_STATS.cache_evictions += 1
+
+    def _store_exact(self, key, value: float) -> None:
+        self._flush_if_full()
+        self._exact[key] = value
+        self._lower.pop(key, None)
+        if self.track_values:
+            self._pairs_by_value.setdefault(key[0], set()).add(key)
+            self._pairs_by_value.setdefault(key[1], set()).add(key)
+
+    def _store_lower(self, key, bound: float) -> None:
+        known = self._lower.get(key)
+        if known is None or bound > known:
+            if known is None:
+                self._flush_if_full()
+            self._lower[key] = bound
+            if self.track_values:
+                self._pairs_by_value.setdefault(key[0], set()).add(key)
+                self._pairs_by_value.setdefault(key[1], set()).add(key)
+
+    # ------------------------------------------------------------------
+    # value lifetime (streaming windows)
+    # ------------------------------------------------------------------
+    def retain(self, values: "Iterable[str]") -> None:
+        """Reference the values of a retained tuple (no-op unless tracking)."""
+        if not self.track_values:
+            return
+        refcounts = self._refcounts
+        for value in values:
+            value = self.intern(value)
+            refcounts[value] = refcounts.get(value, 0) + 1
+
+    def release(self, values: "Iterable[str]") -> None:
+        """Drop references; cache entries of dead values are invalidated.
+
+        A value whose reference count reaches zero no longer appears in any
+        retained tuple, so its cached pairs can never be asked for again —
+        they are purged to keep the persistent streaming cache bounded by the
+        live vocabulary instead of the all-time one.
+        """
+        if not self.track_values:
+            return
+        refcounts = self._refcounts
+        for value in values:
+            value = self.intern(value)
+            count = refcounts.get(value)
+            if count is None:
+                continue
+            if count > 1:
+                refcounts[value] = count - 1
+                continue
+            del refcounts[value]
+            self._interned.pop(value, None)
+            for key in self._pairs_by_value.pop(value, ()):  # type: ignore[arg-type]
+                if key in self._exact:
+                    del self._exact[key]
+                    self.stats.invalidated_pairs += 1
+                    _GLOBAL_STATS.invalidated_pairs += 1
+                self._lower.pop(key, None)
+                partner = key[1] if key[0] is value else key[0]
+                partner_pairs = self._pairs_by_value.get(partner)
+                if partner_pairs is not None:
+                    partner_pairs.discard(key)
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def distance(self, left: str, right: str) -> float:
+        """Exact distance, served from the cache when possible."""
+        self.stats.calls += 1
+        _GLOBAL_STATS.calls += 1
+        if left == right:
+            self.stats.trivial += 1
+            _GLOBAL_STATS.trivial += 1
+            return 0.0
+        if not self.cache_enabled:
+            return self._compute(left, right)
+        key = self._pair_key(left, right)
+        cached = self._exact.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            _GLOBAL_STATS.cache_hits += 1
+            return cached
+        result = self._compute(left, right)
+        self._store_exact(key, result)
+        return result
+
+    def _compute(self, left: str, right: str) -> float:
+        """Run the metric, with affix stripping where it is distance-safe."""
+        if self._affix_safe:
+            left, right = strip_common_affixes(left, right)
+            trivial = trivial_edit_distance(left, right)
+            if trivial is not None:
+                self.stats.trivial += 1
+                _GLOBAL_STATS.trivial += 1
+                return trivial
+        self.stats.raw_evaluations += 1
+        _GLOBAL_STATS.raw_evaluations += 1
+        return self.metric.distance(left, right)
+
+    def bounded_distance(self, left: str, right: str, cutoff: float) -> float:
+        """Exact distance when it is ``≤ cutoff``; else some value ``> cutoff``.
+
+        The not-exact return value is a true lower bound of the distance, so
+        best-so-far searches can prune on it; it must not be used as a
+        distance.
+        """
+        if cutoff == math.inf:
+            return self.distance(left, right)
+        self.stats.calls += 1
+        _GLOBAL_STATS.calls += 1
+        if left == right:
+            self.stats.trivial += 1
+            _GLOBAL_STATS.trivial += 1
+            return 0.0
+        key = None
+        if self.cache_enabled:
+            key = self._pair_key(left, right)
+            cached = self._exact.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                _GLOBAL_STATS.cache_hits += 1
+                return cached
+            bound = self._lower.get(key)
+            if bound is not None and bound > cutoff:
+                self.stats.lower_bound_hits += 1
+                self.stats.cache_hits += 1
+                _GLOBAL_STATS.lower_bound_hits += 1
+                _GLOBAL_STATS.cache_hits += 1
+                return bound
+        if self._affix_safe:
+            stripped_left, stripped_right = strip_common_affixes(left, right)
+            trivial = trivial_edit_distance(stripped_left, stripped_right)
+            if trivial is not None:
+                self.stats.trivial += 1
+                _GLOBAL_STATS.trivial += 1
+                if key is not None:
+                    self._store_exact(key, trivial)
+                return trivial
+            length_gap = abs(len(stripped_left) - len(stripped_right))
+            if length_gap > cutoff:
+                self.stats.length_prunes += 1
+                _GLOBAL_STATS.length_prunes += 1
+                if key is not None:
+                    self._store_lower(key, float(length_gap))
+                return float(length_gap)
+            if self._banded and cutoff >= 0.0:
+                radius = int(cutoff)  # distances are integral: d <= cutoff iff d <= floor(cutoff)
+                value, exact = bounded_levenshtein(
+                    stripped_left, stripped_right, radius
+                )
+                if exact:
+                    self.stats.raw_evaluations += 1
+                    _GLOBAL_STATS.raw_evaluations += 1
+                    if key is not None:
+                        self._store_exact(key, value)
+                    return value
+                self.stats.band_prunes += 1
+                _GLOBAL_STATS.band_prunes += 1
+                if key is not None:
+                    self._store_lower(key, value)
+                return value
+        result = self._compute(left, right)
+        if key is not None:
+            self._store_exact(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # value tuples (pieces of data)
+    # ------------------------------------------------------------------
+    def values_distance(
+        self,
+        left: "Sequence[str]",
+        right: "Sequence[str]",
+        cutoff: Optional[float] = None,
+    ) -> float:
+        """Sum of per-position distances, optionally cutoff-accumulating.
+
+        Without a cutoff this equals
+        :meth:`repro.distance.base.DistanceMetric.values_distance` bit for
+        bit (same per-pair values, same left-to-right summation order).  With
+        a cutoff, the exact sum is returned whenever it is ``≤ cutoff``;
+        otherwise the accumulation stops at the first attribute that pushes a
+        lower bound of the sum past the cutoff and some value ``> cutoff``
+        comes back.
+        """
+        if len(left) != len(right):
+            raise ValueError("value tuples must have the same length")
+        self.stats.value_calls += 1
+        _GLOBAL_STATS.value_calls += 1
+        if cutoff is None or cutoff == math.inf:
+            total = 0.0
+            for left_value, right_value in zip(left, right):
+                total += self.distance(left_value, right_value)
+            return total
+        total = 0.0
+        last = len(left) - 1
+        for position, (left_value, right_value) in enumerate(zip(left, right)):
+            total += self.bounded_distance(left_value, right_value, cutoff - total)
+            if total > cutoff:
+                if position < last:
+                    self.stats.value_short_circuits += 1
+                    _GLOBAL_STATS.value_short_circuits += 1
+                return total
+        return total
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def absorb_stats(self, stats: DistanceStats, mirror_global: bool = True) -> None:
+        """Fold counters measured elsewhere (e.g. a worker process) in.
+
+        Worker processes keep their own engines; their counters are shipped
+        back with the results and folded into the driver's engine — and into
+        the process-global accumulator, which never saw the forked work.
+        Pass ``mirror_global=False`` when the counters were produced in *this*
+        process (the in-process fallback of the parallel path), where the
+        producing engine already mirrored them.
+        """
+        self.stats = self.stats.merge(stats)
+        if not mirror_global:
+            return
+        for field in fields(DistanceStats):
+            setattr(
+                _GLOBAL_STATS,
+                field.name,
+                getattr(_GLOBAL_STATS, field.name) + getattr(stats, field.name),
+            )
+
+    def reset_stats(self) -> None:
+        self.stats = DistanceStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistanceEngine({self.metric.name!r}, cache={self.cache_enabled}, "
+            f"entries={len(self._exact)}, hit_rate={self.stats.hit_rate:.3f})"
+        )

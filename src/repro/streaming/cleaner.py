@@ -144,9 +144,15 @@ class StreamingMLNClean:
         self._repaired = Table(self.schema, name="stream-repaired")
         self._cleaned: Table = self._repaired
         self._index = IncrementalMLNIndex(self.rules)
-        self._agp = AbnormalGroupProcessor(self.config)
-        self._rsc = ReliabilityScoreCleaner(self.config)
-        self._fscr = FusionScoreResolver(self.config)
+        # The distance engine persists across micro-batches: re-cleaning a
+        # dirtied block re-reads almost all of its γ-pair distances from the
+        # cache.  Value tracking reference-counts every retained tuple's
+        # values, so window eviction invalidates exactly the cache entries of
+        # values that left the stream.
+        self._engine = self.config.engine(track_values=True)
+        self._agp = AbnormalGroupProcessor(self.config, engine=self._engine)
+        self._rsc = ReliabilityScoreCleaner(self.config, engine=self._engine)
+        self._fscr = FusionScoreResolver(self.config, engine=self._engine)
 
         #: post-Stage-I state of every block, in rule order (FSCR consumes it)
         self._stage1: dict[str, Block] = {rule.name: Block(rule) for rule in self.rules}
@@ -184,6 +190,11 @@ class StreamingMLNClean:
     @property
     def index(self) -> IncrementalMLNIndex:
         return self._index
+
+    @property
+    def engine(self):
+        """The persistent distance engine (cache + counters) of this stream."""
+        return self._engine
 
     @property
     def batches_applied(self) -> int:
@@ -244,7 +255,7 @@ class StreamingMLNClean:
 
         if self.config.remove_duplicates:
             with timings.time("dedup"):
-                self._dedup = remove_duplicates(self._repaired)
+                self._dedup = remove_duplicates(self._repaired, self._engine)
             self._cleaned = self._dedup.deduplicated
         else:
             self._dedup = None
@@ -356,8 +367,10 @@ class StreamingMLNClean:
         for delta in batch:
             if isinstance(delta, Insert):
                 row = self._dirty.append(delta.values, tid=delta.tid)
-                merge_dirtied(dirtied, self._index.add_tuple(row.tid, row.as_dict()))
-                self._repaired.append(row.as_dict(), tid=row.tid)
+                values = row.as_dict()
+                merge_dirtied(dirtied, self._index.add_tuple(row.tid, values))
+                self._repaired.append(values, tid=row.tid)
+                self._engine.retain(values.values())
                 inserted.append(row.tid)
             elif isinstance(delta, Update):
                 old_values = self._dirty.row(delta.tid).as_dict()
@@ -371,6 +384,8 @@ class StreamingMLNClean:
                 )
                 for attribute, value in delta.changes.items():
                     self._dirty.set_value(delta.tid, attribute, value)
+                self._engine.retain(new_values.values())
+                self._engine.release(old_values.values())
                 updated.append(delta.tid)
             else:
                 self._remove_tuple(delta.tid, dirtied)
@@ -396,6 +411,7 @@ class StreamingMLNClean:
     def _remove_tuple(self, tid: int, dirtied: DirtiedGroups) -> None:
         values = self._dirty.row(tid).as_dict()
         merge_dirtied(dirtied, self._index.remove_tuple(tid, values))
+        self._engine.release(values.values())
         self._dirty.remove(tid)
         if self._repaired.has_tid(tid):
             self._repaired.remove(tid)

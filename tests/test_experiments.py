@@ -103,7 +103,13 @@ def test_fig15_and_table06():
 
 def test_table05_metrics():
     result = table05_distance_metrics(datasets=("car",), tuples=SMALL)
-    assert {row["metric"] for row in result.rows} == {"levenshtein", "cosine"}
+    # the ablation now includes the Damerau variant, which shares the
+    # Levenshtein fast-path preprocessing (like-with-like comparison)
+    assert {row["metric"] for row in result.rows} == {
+        "levenshtein",
+        "damerau",
+        "cosine",
+    }
 
 
 def test_ablations_run():
