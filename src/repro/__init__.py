@@ -34,13 +34,18 @@ Sub-packages:
 * :mod:`repro.mln` — the Markov-logic substrate (grounding, weights, inference),
 * :mod:`repro.dataset`, :mod:`repro.distance`, :mod:`repro.errors`,
   :mod:`repro.metrics` — supporting substrates,
-* :mod:`repro.baselines` — the HoloClean-style comparison baseline,
+* :mod:`repro.baselines` — the comparison baselines (HoloClean-style,
+  minimality, untrained factor graph), all registered cleaners,
 * :mod:`repro.distributed` — the partitioned (Spark-style) MLNClean,
 * :mod:`repro.streaming` — incremental MLNClean over micro-batches of
   tuple deltas (continuously arriving data),
 * :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators
   and the workload registry (names, sizes, recommended configs),
-* :mod:`repro.experiments` — one harness per figure/table of the paper.
+* :mod:`repro.experiments` — declarative experiments: checked-in
+  :class:`~repro.experiments.ExperimentSpec` grids, the
+  :class:`~repro.experiments.ExperimentRunner`, JSON-lossless
+  :class:`~repro.experiments.RunArtifact` results, and one thin renderer
+  per figure/table of the paper.
 """
 
 from repro.core.config import MLNCleanConfig
@@ -51,15 +56,19 @@ from repro.dataset.table import Cell, Row, Table
 from repro.errors.injector import ErrorInjector, ErrorSpec
 from repro.metrics.accuracy import evaluate_repair
 from repro.session import (
+    Cleaner,
     CleaningSession,
     ExecutionBackend,
     Session,
     SessionBuilder,
     available_backends,
+    available_cleaners,
     available_stages,
+    get_cleaner,
     load_rules,
     load_table,
     register_backend,
+    register_cleaner,
     register_stage,
 )
 from repro.distributed import DistributedMLNClean
@@ -75,17 +84,21 @@ from repro.streaming import (
     WorkloadStreamSource,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CleaningSession",
     "Session",
     "SessionBuilder",
     "ExecutionBackend",
+    "Cleaner",
     "load_table",
     "load_rules",
     "register_backend",
     "available_backends",
+    "register_cleaner",
+    "available_cleaners",
+    "get_cleaner",
     "register_stage",
     "available_stages",
     "MLNClean",

@@ -15,9 +15,14 @@ introduction; it is used by the ablation benchmarks.
 """
 
 from repro.baselines.detectors import ErrorDetector, PerfectDetector, ViolationDetector
-from repro.baselines.factor_graph import CellFactorGraph, RepairCandidate
+from repro.baselines.factor_graph import (
+    CellFactorGraph,
+    FactorGraphRepairer,
+    FactorGraphReport,
+    RepairCandidate,
+)
 from repro.baselines.holoclean import HoloCleanBaseline, HoloCleanConfig, HoloCleanReport
-from repro.baselines.minimal_repair import MinimalityRepairer
+from repro.baselines.minimal_repair import MinimalityRepairer, MinimalRepairReport
 
 __all__ = [
     "ErrorDetector",
@@ -25,8 +30,11 @@ __all__ = [
     "ViolationDetector",
     "CellFactorGraph",
     "RepairCandidate",
+    "FactorGraphRepairer",
+    "FactorGraphReport",
     "HoloCleanBaseline",
     "HoloCleanConfig",
     "HoloCleanReport",
     "MinimalityRepairer",
+    "MinimalRepairReport",
 ]

@@ -22,7 +22,8 @@ import math
 import random
 from collections import Counter, defaultdict
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.constraints.rules import (
     ConditionalFunctionalDependency,
@@ -30,7 +31,11 @@ from repro.constraints.rules import (
     FunctionalDependency,
     Rule,
 )
+from repro.core.report import CleaningReport
 from repro.dataset.table import Cell, Table
+from repro.errors.groundtruth import GroundTruth
+from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
+from repro.metrics.timing import TimingBreakdown
 
 #: names of the candidate features, in vector order
 FEATURE_NAMES = (
@@ -373,6 +378,134 @@ class _ConstraintIndex:
         if applicable == 0:
             return 1.0
         return compatible / applicable
+
+
+@dataclass
+class FactorGraphReport:
+    """Outcome of one stand-alone (untrained) factor-graph repair run."""
+
+    dirty: Table
+    repaired: Table
+    detected_cells: set[Cell] = field(default_factory=set)
+    repairs: dict[Cell, str] = field(default_factory=dict)
+    weights: list[float] = field(default_factory=list)
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    accuracy: Optional[RepairAccuracy] = None
+
+    @property
+    def runtime(self) -> float:
+        return self.timings.total
+
+    @property
+    def f1(self) -> float:
+        return self.accuracy.f1 if self.accuracy is not None else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (how serialized reports carry this drill-down)."""
+        return {
+            "detected_cells": len(self.detected_cells),
+            "repaired_cells": len(self.repairs),
+            "weights": list(self.weights),
+        }
+
+    def as_cleaning_report(self) -> CleaningReport:
+        """This run in the unified :class:`~repro.core.report.CleaningReport` shape."""
+        return CleaningReport(
+            dirty=self.dirty,
+            repaired=self.repaired,
+            cleaned=self.repaired,
+            timings=self.timings,
+            accuracy=self.accuracy,
+            backend="factor-graph",
+            details=self,
+        )
+
+
+class FactorGraphRepairer:
+    """Per-cell MAP repair over the factor graph *without* weight training.
+
+    The ablation that separates HoloClean's model structure from its learned
+    weights: every detected cell is assigned the candidate maximising the
+    uniform-prior score (all feature weights at 1.0, or after
+    ``training_epochs > 0`` SGD epochs when a partially trained variant is
+    wanted).  Everything else — detection, candidate pruning, features —
+    matches :class:`~repro.baselines.holoclean.HoloCleanBaseline`.
+    """
+
+    def __init__(
+        self,
+        max_candidates: int = 20,
+        seed: int = 11,
+        training_epochs: int = 0,
+        training_sample: int = 2000,
+        learning_rate: float = 0.5,
+    ):
+        if training_epochs < 0:
+            raise ValueError("training_epochs must be >= 0")
+        self.max_candidates = max_candidates
+        self.seed = seed
+        self.training_epochs = training_epochs
+        self.training_sample = training_sample
+        self.learning_rate = learning_rate
+
+    def clean(
+        self,
+        dirty: Table,
+        rules: Sequence[Rule],
+        ground_truth: Optional[GroundTruth] = None,
+        detector=None,
+    ) -> FactorGraphReport:
+        """Detect noisy cells and repair each with the MAP candidate.
+
+        ``detector`` defaults like the HoloClean baseline: perfect detection
+        when a ground truth is supplied, violation-based detection otherwise.
+        """
+        from repro.baselines.detectors import PerfectDetector, ViolationDetector
+
+        timings = TimingBreakdown()
+        if detector is None:
+            detector = (
+                PerfectDetector(ground_truth)
+                if ground_truth is not None
+                else ViolationDetector()
+            )
+        with timings.time("detect"):
+            noisy_cells = detector.detect(dirty, rules)
+
+        repaired = dirty.copy(name=f"{dirty.name}-factorgraph")
+        report = FactorGraphReport(
+            dirty=dirty,
+            repaired=repaired,
+            detected_cells=set(noisy_cells),
+            timings=timings,
+        )
+        if noisy_cells:
+            with timings.time("compile"):
+                graph = CellFactorGraph(
+                    dirty,
+                    rules,
+                    noisy_cells,
+                    max_candidates=self.max_candidates,
+                    seed=self.seed,
+                )
+            if self.training_epochs:
+                with timings.time("train"):
+                    graph.train(
+                        graph.training_examples(self.training_sample),
+                        epochs=self.training_epochs,
+                        learning_rate=self.learning_rate,
+                    )
+            with timings.time("repair"):
+                for cell in sorted(noisy_cells, key=lambda c: (c.tid, c.attribute)):
+                    best = graph.map_repair(cell)
+                    if best.value != dirty.cell_value(cell):
+                        repaired.set_cell(cell, best.value)
+                        report.repairs[cell] = best.value
+            report.weights = list(graph.weights)
+
+        if ground_truth is not None:
+            report.accuracy = evaluate_repair(dirty, repaired, ground_truth)
+        return report
 
 
 def _dot(weights: Sequence[float], features: Sequence[float]) -> float:

@@ -27,6 +27,7 @@ from typing import Optional
 from repro.baselines.detectors import ErrorDetector, PerfectDetector, ViolationDetector
 from repro.baselines.factor_graph import CellFactorGraph
 from repro.constraints.rules import Rule
+from repro.core.report import CleaningReport
 from repro.dataset.table import Cell, Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
@@ -67,6 +68,30 @@ class HoloCleanReport:
     @property
     def f1(self) -> float:
         return self.accuracy.f1 if self.accuracy is not None else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (how serialized reports carry this drill-down)."""
+        return {
+            "detected_cells": len(self.detected_cells),
+            "repaired_cells": len(self.repairs),
+        }
+
+    def as_cleaning_report(self) -> CleaningReport:
+        """This run in the unified :class:`~repro.core.report.CleaningReport` shape.
+
+        HoloClean neither deduplicates nor removes tuples, so ``cleaned`` is
+        the repaired table itself; the full baseline drill-down (detected
+        cells, per-cell repairs) stays reachable through ``report.details``.
+        """
+        return CleaningReport(
+            dirty=self.dirty,
+            repaired=self.repaired,
+            cleaned=self.repaired,
+            timings=self.timings,
+            accuracy=self.accuracy,
+            backend="holoclean",
+            details=self,
+        )
 
 
 class HoloCleanBaseline:

@@ -23,9 +23,11 @@ from repro.constraints.rules import (
     ConditionalFunctionalDependency,
     Rule,
 )
+from repro.core.report import CleaningReport
 from repro.dataset.table import Cell, Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
+from repro.metrics.timing import TimingBreakdown
 
 
 @dataclass
@@ -35,11 +37,33 @@ class MinimalRepairReport:
     dirty: Table
     repaired: Table
     repairs: dict[Cell, str] = field(default_factory=dict)
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
     accuracy: Optional[RepairAccuracy] = None
 
     @property
     def f1(self) -> float:
         return self.accuracy.f1 if self.accuracy is not None else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (how serialized reports carry this drill-down)."""
+        return {"repaired_cells": len(self.repairs)}
+
+    def as_cleaning_report(self) -> CleaningReport:
+        """This run in the unified :class:`~repro.core.report.CleaningReport` shape.
+
+        The repairer only overwrites values (no tuple removal), so
+        ``cleaned`` equals the repaired table; the per-cell repair listing
+        stays reachable through ``report.details``.
+        """
+        return CleaningReport(
+            dirty=self.dirty,
+            repaired=self.repaired,
+            cleaned=self.repaired,
+            timings=self.timings,
+            accuracy=self.accuracy,
+            backend="minimal-repair",
+            details=self,
+        )
 
 
 class MinimalityRepairer:
@@ -53,8 +77,9 @@ class MinimalityRepairer:
     ) -> MinimalRepairReport:
         repaired = dirty.copy(name=f"{dirty.name}-minimal")
         report = MinimalRepairReport(dirty=dirty, repaired=repaired)
-        for rule in rules:
-            self._repair_rule(repaired, rule, report)
+        with report.timings.time("repair"):
+            for rule in rules:
+                self._repair_rule(repaired, rule, report)
         if ground_truth is not None:
             report.accuracy = evaluate_repair(dirty, repaired, ground_truth)
         return report

@@ -5,6 +5,16 @@ repaired table (before and after duplicate elimination), wall-clock timings
 per phase, and — when the run was instrumented with a ground truth — the
 overall repair accuracy (Eq. 7) and the per-component accuracy of AGP, RSC
 and FSCR (Section 7.3).
+
+Reports serialize to JSON (:meth:`CleaningReport.to_json_dict` /
+:meth:`CleaningReport.from_json_dict`) so experiment artifacts can be
+persisted, diffed run-over-run, and gated in CI.  The JSON form captures the
+comparison-relevant surface losslessly — the three tables, timings, repair
+accuracy, per-stage :class:`~repro.metrics.component.StageCounts`, dedup
+listing, backend name — while live drill-down objects (stage merge/repair
+listings, backend-specific reports) are flattened through their ``as_dict``
+when available.  Serializing is idempotent: a deserialized report serializes
+to the same JSON again, bit for bit.
 """
 
 from __future__ import annotations
@@ -16,10 +26,55 @@ from repro.core.agp import AGPOutcome
 from repro.core.dedup import DeduplicationResult
 from repro.core.fscr import FSCROutcome
 from repro.core.rsc import RSCOutcome
+from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.metrics.accuracy import RepairAccuracy
 from repro.metrics.component import ComponentAccuracy, StageCounts
 from repro.metrics.timing import TimingBreakdown
+
+
+def table_to_json_dict(table: Table) -> dict:
+    """One table as a JSON-safe dictionary (schema, name, tid-keyed rows)."""
+    attributes = table.attributes
+    return {
+        "name": table.name,
+        "attributes": list(attributes),
+        "rows": [
+            [row.tid, list(row.values_for(attributes))] for row in table
+        ],
+    }
+
+
+def table_from_json_dict(data: dict) -> Table:
+    """Rebuild a table from :func:`table_to_json_dict` output."""
+    attributes = list(data["attributes"])
+    table = Table(Schema(attributes), name=data["name"])
+    for tid, values in data["rows"]:
+        table.append(dict(zip(attributes, values)), tid=int(tid))
+    return table
+
+
+@dataclass
+class StageDrilldown:
+    """A deserialized stage outcome: the counts survive, the listings don't.
+
+    :meth:`CleaningReport.from_json_dict` puts one of these wherever the
+    live report carried an AGP/RSC/FSCR outcome, so
+    :attr:`CleaningReport.component_accuracy` keeps working on reports read
+    back from JSON.
+    """
+
+    counts: StageCounts = field(default_factory=StageCounts)
+
+
+def _details_to_json(details: Optional[object]) -> Optional[object]:
+    """Flatten backend-/cleaner-specific details into a JSON-safe value."""
+    if details is None or isinstance(details, (dict, str, int, float, bool)):
+        return details
+    as_dict = getattr(details, "as_dict", None)
+    if callable(as_dict):
+        return as_dict()
+    return repr(details)
 
 
 @dataclass
@@ -89,6 +144,88 @@ class CleaningReport:
             )
             summary.update(self.component_accuracy.as_dict())
         return summary
+
+    # ------------------------------------------------------------------
+    # JSON (de)serialization
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """The report as a JSON-safe dictionary (see the module docstring)."""
+        stages = {}
+        for label, outcome in (("agp", self.agp), ("rsc", self.rsc), ("fscr", self.fscr)):
+            stages[label] = (
+                {"counts": outcome.counts.as_dict()} if outcome is not None else None
+            )
+        return {
+            "dirty": table_to_json_dict(self.dirty),
+            "repaired": table_to_json_dict(self.repaired),
+            "cleaned": table_to_json_dict(self.cleaned),
+            "timings": self.timings.as_dict(),
+            "stages": stages,
+            "dedup": (
+                {
+                    "removed_tids": list(self.dedup.removed_tids),
+                    "duplicate_classes": [
+                        list(tids) for tids in self.dedup.duplicate_classes
+                    ],
+                }
+                if self.dedup is not None
+                else None
+            ),
+            "accuracy": (
+                self.accuracy.to_json_dict() if self.accuracy is not None else None
+            ),
+            "backend": self.backend,
+            "details": _details_to_json(self.details),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CleaningReport":
+        """Rebuild a report from :meth:`to_json_dict` output.
+
+        Tables, timings, accuracy and stage counts come back as full
+        objects; stage outcomes come back as :class:`StageDrilldown` (counts
+        only) and ``details`` as whatever JSON value was stored.
+        """
+        cleaned = table_from_json_dict(data["cleaned"])
+        stages = data.get("stages") or {}
+
+        def drilldown(label: str) -> Optional[StageDrilldown]:
+            stored = stages.get(label)
+            if stored is None:
+                return None
+            return StageDrilldown(counts=StageCounts.from_dict(stored["counts"]))
+
+        dedup_data = data.get("dedup")
+        dedup = (
+            DeduplicationResult(
+                deduplicated=cleaned,
+                removed_tids=[int(tid) for tid in dedup_data["removed_tids"]],
+                duplicate_classes=[
+                    [int(tid) for tid in tids]
+                    for tids in dedup_data["duplicate_classes"]
+                ],
+            )
+            if dedup_data is not None
+            else None
+        )
+        accuracy_data = data.get("accuracy")
+        return cls(
+            dirty=table_from_json_dict(data["dirty"]),
+            repaired=table_from_json_dict(data["repaired"]),
+            cleaned=cleaned,
+            timings=TimingBreakdown(dict(data.get("timings") or {})),
+            agp=drilldown("agp"),
+            rsc=drilldown("rsc"),
+            fscr=drilldown("fscr"),
+            dedup=dedup,
+            accuracy=(
+                RepairAccuracy.from_json_dict(accuracy_data)
+                if accuracy_data is not None
+                else None
+            ),
+            backend=data.get("backend"),
+            details=data.get("details"),
+        )
 
     def describe(self) -> str:
         """A short human-readable report (used by the examples)."""

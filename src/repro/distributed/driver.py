@@ -125,6 +125,22 @@ class DistributedReport:
     def f1(self) -> float:
         return self.accuracy.f1 if self.accuracy is not None else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-safe summary (how serialized reports carry this drill-down)."""
+        return {
+            "workers": self.workers,
+            "partitions": self.partition.sizes,
+            "runtime": self.runtime,
+            "sequential_runtime": self.sequential_runtime,
+            "speedup": self.speedup,
+            "makespan_seconds": self.makespan_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "f1": self.f1,
+            "distance_stats": dict(self.distance_stats)
+            if self.distance_stats is not None
+            else None,
+        }
+
     def as_cleaning_report(self) -> "CleaningReport":
         """This run in the unified :class:`~repro.core.report.CleaningReport` shape.
 

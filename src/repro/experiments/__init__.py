@@ -1,10 +1,15 @@
-"""Experiment harnesses: one entry per figure/table of the paper's Section 7.
+"""Experiment harnesses: declarative specs, one renderer per figure/table.
 
-Every harness function returns an :class:`~repro.experiments.harness.ExperimentResult`
-whose rows are the series the corresponding figure plots (or the cells of the
-corresponding table).  The benchmarks under ``benchmarks/`` call these
-functions with scaled-down workload sizes and print the resulting tables; the
-examples call them with the defaults.
+Every experiment is an :class:`~repro.experiments.spec.ExperimentSpec` — a
+pure-data grid of cleaner × workload × error model × configuration — checked
+in under ``specs/`` and executed by the
+:class:`~repro.experiments.spec.ExperimentRunner` into a JSON-serializable
+:class:`~repro.experiments.spec.RunArtifact`.  The per-figure functions in
+this package load the corresponding spec, apply any keyword overrides, run
+it, and render the artifact's rows; the benchmarks under ``benchmarks/``
+call them with scaled-down workload sizes, and
+``python -m repro.experiments run <spec>`` does the same from the command
+line.
 
 Registry keys follow the paper's numbering::
 
@@ -23,7 +28,8 @@ Registry keys follow the paper's numbering::
 
 plus post-paper capability studies::
 
-    streaming  incremental micro-batch cleaning vs naive full re-clean
+    streaming          incremental micro-batch cleaning vs naive full re-clean
+    streaming_replay   batch vs streaming-backend equivalence (declarative)
 """
 
 from repro.experiments.harness import (
@@ -34,7 +40,22 @@ from repro.experiments.harness import (
     prepare_instance,
     session_for_instance,
 )
-from repro.experiments.comparison import fig06_error_percentage, fig07_error_type_ratio
+from repro.experiments.spec import (
+    CellResult,
+    CleanerSpec,
+    ConfigCell,
+    ExperimentRunner,
+    ExperimentSpec,
+    RunArtifact,
+    available_specs,
+    load_spec,
+)
+from repro.experiments.comparison import (
+    fig06_error_percentage,
+    fig07_error_type_ratio,
+    render_fig06,
+    render_fig07,
+)
 from repro.experiments.threshold import (
     fig08_agp_threshold,
     fig09_rsc_threshold,
@@ -46,14 +67,26 @@ from repro.experiments.error_rate import (
     fig13_rsc_error_rate,
     fig14_fscr_error_rate,
 )
-from repro.experiments.distributed import fig15_distributed, table06_worker_scaling
-from repro.experiments.distance import table05_distance_metrics
+from repro.experiments.distributed import (
+    fig15_distributed,
+    render_fig15,
+    render_table06,
+    table06_worker_scaling,
+)
+from repro.experiments.distance import render_table05, table05_distance_metrics
 from repro.experiments.ablation import (
     ablation_fscr_minimality,
     ablation_partitioner,
     ablation_reliability_score,
+    render_ablation_fscr,
+    render_ablation_partition,
+    render_ablation_rscore,
 )
-from repro.experiments.streaming import streaming_incremental
+from repro.experiments.streaming import (
+    render_streaming_replay,
+    streaming_incremental,
+    streaming_replay,
+)
 
 #: experiment id -> harness callable (all accept ``tuples`` and ``seed``)
 EXPERIMENTS = {
@@ -73,18 +106,45 @@ EXPERIMENTS = {
     "ablation_fscr": ablation_fscr_minimality,
     "ablation_partition": ablation_partitioner,
     "streaming": streaming_incremental,
+    "streaming_replay": streaming_replay,
+}
+
+#: spec name -> renderer for artifacts produced from that (shaped) spec;
+#: sweeps feeding several figures (threshold_sweep, error_rate_sweep) have
+#: no single figure and fall back to the CLI's generic rendering
+RENDERERS = {
+    "fig06": render_fig06,
+    "fig07": render_fig07,
+    "fig15": render_fig15,
+    "table05": render_table05,
+    "table06": render_table06,
+    "ablation_fscr": render_ablation_fscr,
+    "ablation_rscore": render_ablation_rscore,
+    "ablation_partition": render_ablation_partition,
+    "streaming_replay": render_streaming_replay,
 }
 
 __all__ = [
     "EXPERIMENTS",
+    "RENDERERS",
     "ExperimentResult",
     "SystemRun",
+    "ExperimentSpec",
+    "ExperimentRunner",
+    "RunArtifact",
+    "CellResult",
+    "CleanerSpec",
+    "ConfigCell",
+    "load_spec",
+    "available_specs",
     "prepare_instance",
     "session_for_instance",
     "run_mlnclean",
     "run_holoclean",
     "fig06_error_percentage",
     "fig07_error_type_ratio",
+    "render_fig06",
+    "render_fig07",
     "fig08_agp_threshold",
     "fig09_rsc_threshold",
     "fig10_fscr_threshold",
@@ -99,4 +159,5 @@ __all__ = [
     "ablation_fscr_minimality",
     "ablation_partitioner",
     "streaming_incremental",
+    "streaming_replay",
 ]

@@ -6,10 +6,16 @@ These go beyond the paper's own evaluation:
   score drops its distance factor (weight-only) or its weight factor
   (distance-only, i.e. pure minimality),
 * :func:`ablation_fscr_minimality` — the fusion score with and without the
-  minimality factor this reproduction adds (and with FSCR disabled entirely,
-  i.e. Stage I only),
+  minimality factor this reproduction adds,
 * :func:`ablation_partitioner` — Algorithm-3 partitioning vs naive
   round-robin partitioning for the distributed runner.
+
+Each ablation is a checked-in spec over registered cleaners: the score
+variants are the ``"rscore-ablation"`` cleaner (one per ``variant`` option)
+and the partitioner ablation pits the stock distributed backend against the
+``"roundrobin-distributed"`` cleaner.  Registering experiment-specific
+cleaners is the intended extension path — a new ablation is a
+:func:`~repro.session.register_cleaner` call plus a spec, not a new loop.
 """
 
 from __future__ import annotations
@@ -21,98 +27,85 @@ from typing import Optional
 from repro.core.config import MLNCleanConfig
 from repro.core.index import MLNIndex
 from repro.core.agp import AbnormalGroupProcessor
+from repro.core.report import CleaningReport
 from repro.core.rsc import ReliabilityScoreCleaner
 from repro.distributed.driver import DistributedMLNClean
 from repro.distributed.partition import DataPartitioner, hash_partition
-from repro.experiments.harness import ExperimentResult, prepare_instance, run_mlnclean
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.spec import (
+    CleanerSpec,
+    ConfigCell,
+    ExperimentRunner,
+    RunArtifact,
+    load_spec,
+)
+from repro.session import register_cleaner
+from repro.session.backends import CleaningRequest
+from repro.session.cleaners import _reject_custom_stages
 
 
-def ablation_fscr_minimality(
-    datasets: Sequence[str] = ("car", "hai"),
-    error_rate: float = 0.05,
-    tuples: Optional[int] = None,
-    seed: int = 7,
-) -> ExperimentResult:
-    """Fusion score with / without the minimality factor."""
-    result = ExperimentResult(
-        experiment="ablation_fscr",
-        description="FSCR minimality factor ablation",
-    )
-    for dataset in datasets:
-        instance = prepare_instance(
-            dataset, tuples=tuples, error_rate=error_rate, seed=seed
-        )
-        base = MLNCleanConfig.for_dataset(dataset)
-        variants = {
-            "weights_and_minimality": base,
-            "weights_only (Eq.5)": replace(base, fscr_minimality_bias=0.0),
-        }
-        for label, config in variants.items():
-            run = run_mlnclean(instance, config=config)
-            result.add(
-                {
-                    "dataset": dataset,
-                    "variant": label,
-                    "f1": round(run.f1, 4),
-                    "precision": round(run.precision, 4),
-                    "recall": round(run.recall, 4),
-                }
-            )
-    return result
+# ----------------------------------------------------------------------
+# variant cleaners
+# ----------------------------------------------------------------------
+class RScoreAblationCleaner:
+    """Stage-I-only runs scoring γs by a degenerate reliability score.
 
-
-def ablation_reliability_score(
-    datasets: Sequence[str] = ("car", "hai"),
-    error_rate: float = 0.05,
-    tuples: Optional[int] = None,
-    seed: int = 7,
-) -> ExperimentResult:
-    """Reliability score vs its two degenerate forms, measured on Stage I.
-
-    The full pipeline is kept identical except for how the winning γ of each
-    group is chosen: by the full r-score, by weight alone (pure statistics) or
-    by support×distance alone (pure minimality).  The reported figures are the
-    Stage-I RSC precision/recall.
+    The pipeline is kept identical up to RSC except for how the winning γ of
+    each group is chosen: by the full r-score (``variant="full"``), by
+    weight alone (``"weight_only"``, pure statistics) or by support×distance
+    alone (``"distance_only"``, pure minimality).  The cleaner reports the
+    Stage-I RSC precision/recall as numeric ``details`` so the experiment
+    runner surfaces them as cell metrics.
     """
-    result = ExperimentResult(
-        experiment="ablation_rscore",
-        description="reliability-score factor ablation (RSC precision/recall)",
-    )
-    for dataset in datasets:
-        instance = prepare_instance(
-            dataset, tuples=tuples, error_rate=error_rate, seed=seed
-        )
-        config = MLNCleanConfig.for_dataset(dataset)
-        clean_reference = instance.ground_truth.clean_table(instance.dirty)
+
+    name = "rscore-ablation"
+
+    def __init__(self, variant: str = "full"):
+        if variant not in ("full", "weight_only", "distance_only"):
+            raise ValueError(f"unknown reliability-score variant {variant!r}")
+        self.variant = variant
+
+    def run(self, request: CleaningRequest) -> CleaningReport:
+        _reject_custom_stages(request, self.name)
+        if request.ground_truth is None:
+            raise ValueError(
+                "the rscore-ablation cleaner measures RSC accuracy and "
+                "therefore needs a ground truth"
+            )
+        clean_reference = request.ground_truth.clean_table(request.dirty)
         lookup = clean_reference.row  # used via .as_dict below
 
-        for variant in ("full", "weight_only", "distance_only"):
-            index = MLNIndex.build(instance.dirty, instance.rules)
-            AbnormalGroupProcessor(config).process_index(index.block_list)
-            cleaner = _variant_cleaner(config, variant)
-            outcome = cleaner.clean_index(
-                index.block_list, lambda tid: lookup(tid).as_dict()
-            )
-            counts = outcome.counts
-            precision = (
-                counts.correctly_repaired_gammas / counts.repaired_gammas
-                if counts.repaired_gammas
-                else 1.0
-            )
-            recall = (
-                counts.correctly_repaired_gammas / counts.erroneous_gammas
-                if counts.erroneous_gammas
-                else 1.0
-            )
-            result.add(
-                {
-                    "dataset": dataset,
-                    "variant": variant,
-                    "precision_r": round(precision, 4),
-                    "recall_r": round(recall, 4),
-                }
-            )
-    return result
+        index = MLNIndex.build(request.dirty, request.rules)
+        AbnormalGroupProcessor(request.config).process_index(index.block_list)
+        cleaner = _variant_cleaner(request.config, self.variant)
+        outcome = cleaner.clean_index(
+            index.block_list, lambda tid: lookup(tid).as_dict()
+        )
+        counts = outcome.counts
+        precision = (
+            counts.correctly_repaired_gammas / counts.repaired_gammas
+            if counts.repaired_gammas
+            else 1.0
+        )
+        recall = (
+            counts.correctly_repaired_gammas / counts.erroneous_gammas
+            if counts.erroneous_gammas
+            else 1.0
+        )
+        # Stage-I only: no repaired table is derived, so the report carries
+        # the dirty table and the measured scores ride in `details`
+        return CleaningReport(
+            dirty=request.dirty,
+            repaired=request.dirty,
+            cleaned=request.dirty,
+            rsc=outcome,
+            backend=self.name,
+            details={
+                "variant": self.variant,
+                "precision_r": round(precision, 4),
+                "recall_r": round(recall, 4),
+            },
+        )
 
 
 def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCleaner:
@@ -120,7 +113,6 @@ def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCl
     cleaner = ReliabilityScoreCleaner(config)
     if variant == "full":
         return cleaner
-    original_scores = cleaner.reliability_scores
 
     if variant == "weight_only":
 
@@ -150,8 +142,130 @@ def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCl
         cleaner.reliability_scores = distance_only  # type: ignore[method-assign]
     else:
         raise ValueError(f"unknown reliability-score variant {variant!r}")
-    del original_scores
     return cleaner
+
+
+class _RoundRobinPartitioner(DataPartitioner):
+    def partition(self, table):  # type: ignore[override]
+        return hash_partition(table, self.parts)
+
+
+class RoundRobinDistributedCleaner:
+    """Distributed MLNClean with naive round-robin partitioning.
+
+    The counterfactual for the Algorithm-3 partitioner: same driver, same
+    workers, but tuples are dealt to parts round-robin instead of being
+    co-located by rule-attribute similarity.
+    """
+
+    name = "roundrobin-distributed"
+
+    def __init__(self, workers: int = 4):
+        self.workers = workers
+
+    def run(self, request: CleaningRequest) -> CleaningReport:
+        _reject_custom_stages(request, self.name)
+        driver = DistributedMLNClean(
+            workers=self.workers,
+            config=request.config,
+            partitioner=_RoundRobinPartitioner(parts=self.workers),
+        )
+        report = driver.clean(request.dirty, request.rules, request.ground_truth)
+        return report.as_cleaning_report()
+
+
+register_cleaner("rscore-ablation", RScoreAblationCleaner)
+register_cleaner("roundrobin-distributed", RoundRobinDistributedCleaner)
+
+
+# ----------------------------------------------------------------------
+# the ablation experiments (spec + renderer each)
+# ----------------------------------------------------------------------
+def render_ablation_fscr(artifact: RunArtifact) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation_fscr",
+        description="FSCR minimality factor ablation",
+    )
+    for cell in artifact.cells:
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "variant": cell.coords["config"]["label"],
+                "f1": cell.metrics["f1"],
+                "precision": cell.metrics["precision"],
+                "recall": cell.metrics["recall"],
+            }
+        )
+    return result
+
+
+def ablation_fscr_minimality(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fusion score with / without the minimality factor."""
+    spec = replace(
+        load_spec("ablation_fscr"),
+        workloads=list(datasets),
+        error_rates=[error_rate],
+        tuples=tuples,
+        seed=seed,
+    )
+    return render_ablation_fscr(ExperimentRunner(spec).run())
+
+
+def render_ablation_rscore(artifact: RunArtifact) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation_rscore",
+        description="reliability-score factor ablation (RSC precision/recall)",
+    )
+    for cell in artifact.cells:
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "variant": cell.coords["system"],
+                "precision_r": cell.metrics["precision_r"],
+                "recall_r": cell.metrics["recall_r"],
+            }
+        )
+    return result
+
+
+def ablation_reliability_score(
+    datasets: Sequence[str] = ("car", "hai"),
+    error_rate: float = 0.05,
+    tuples: Optional[int] = None,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Reliability score vs its two degenerate forms, measured on Stage I."""
+    spec = replace(
+        load_spec("ablation_rscore"),
+        workloads=list(datasets),
+        error_rates=[error_rate],
+        tuples=tuples,
+        seed=seed,
+    )
+    return render_ablation_rscore(ExperimentRunner(spec).run())
+
+
+def render_ablation_partition(artifact: RunArtifact) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="ablation_partition",
+        description="distributed partitioning strategy ablation",
+    )
+    for cell in artifact.cells:
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "partitioner": cell.coords["system"],
+                "workers": cell.metrics["workers"],
+                "f1": cell.metrics["f1"],
+                "runtime_s": cell.metrics["sim_runtime_s"],
+            }
+        )
+    return result
 
 
 def ablation_partitioner(
@@ -162,42 +276,31 @@ def ablation_partitioner(
     seed: int = 7,
 ) -> ExperimentResult:
     """Algorithm-3 partitioning vs round-robin partitioning."""
-    result = ExperimentResult(
-        experiment="ablation_partition",
-        description="distributed partitioning strategy ablation",
+    spec = replace(
+        load_spec("ablation_partition"),
+        workloads=[dataset],
+        error_rates=[error_rate],
+        cleaners=[
+            CleanerSpec(
+                cleaner="mlnclean",
+                label="algorithm3",
+                options={"backend": "distributed", "workers": int(workers)},
+            ),
+            CleanerSpec(
+                cleaner="roundrobin-distributed",
+                label="round_robin",
+                options={"workers": int(workers)},
+            ),
+        ],
+        tuples=tuples,
+        seed=seed,
     )
-    instance = prepare_instance(dataset, tuples=tuples, error_rate=error_rate, seed=seed)
-    config = MLNCleanConfig.for_dataset(dataset)
+    return render_ablation_partition(ExperimentRunner(spec).run())
 
-    algorithm3 = DistributedMLNClean(workers=workers, config=config)
-    report = algorithm3.clean(instance.dirty, instance.rules, instance.ground_truth)
-    result.add(
-        {
-            "dataset": dataset,
-            "partitioner": "algorithm3",
-            "workers": workers,
-            "f1": round(report.f1, 4),
-            "runtime_s": round(report.runtime, 4),
-        }
-    )
 
-    class _RoundRobinPartitioner(DataPartitioner):
-        def partition(self, table):  # type: ignore[override]
-            return hash_partition(table, self.parts)
-
-    round_robin = DistributedMLNClean(
-        workers=workers,
-        config=config,
-        partitioner=_RoundRobinPartitioner(parts=workers),
-    )
-    report = round_robin.clean(instance.dirty, instance.rules, instance.ground_truth)
-    result.add(
-        {
-            "dataset": dataset,
-            "partitioner": "round_robin",
-            "workers": workers,
-            "f1": round(report.f1, 4),
-            "runtime_s": round(report.runtime, 4),
-        }
-    )
-    return result
+# referenced by the checked-in spec defaults (kept here so a bare
+# `load_spec("ablation_fscr")` renders with the same labels)
+FSCR_VARIANTS: list[ConfigCell] = [
+    ConfigCell(overrides={}, label="weights_and_minimality"),
+    ConfigCell(overrides={"fscr_minimality_bias": 0.0}, label="weights_only (Eq.5)"),
+]

@@ -1,24 +1,41 @@
-"""Figures 6 and 7: MLNClean vs HoloClean.
+"""Figures 6 and 7: MLNClean vs HoloClean, as checked-in specs + renderers.
 
 * **Figure 6** varies the error percentage from 5 % to 30 % on CAR and HAI and
   reports F1 (panels a/b) and runtime (panels c/d) for both systems.
 * **Figure 7** fixes the total error rate at 5 % and varies the error type
   ratio ``Rret`` — the fraction of replacement errors — from 0 (all typos) to
   100 % (all replacements).
+
+The grids live in ``specs/fig06.json`` and ``specs/fig07.json``; the
+functions here override the checked-in spec with any keyword arguments, run
+it through the :class:`~repro.experiments.spec.ExperimentRunner`, and render
+the resulting :class:`~repro.experiments.spec.RunArtifact` into the familiar
+:class:`~repro.experiments.harness.ExperimentResult` rows.  Rendering is a
+pure projection of the artifact, so a deserialized artifact re-renders the
+identical figure.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import replace
 from typing import Optional
 
-from repro.experiments.harness import (
-    ExperimentResult,
-    default_error_rates,
-    prepare_instance,
-    run_holoclean,
-    run_mlnclean,
-)
+from repro.experiments.harness import ExperimentResult, default_error_rates
+from repro.experiments.spec import ExperimentRunner, RunArtifact, load_spec
+
+
+def render_fig06(artifact: RunArtifact) -> ExperimentResult:
+    """Project a fig06-shaped artifact onto the figure's rows."""
+    result = ExperimentResult(
+        experiment="fig06",
+        description="F1 / runtime vs error percentage (MLNClean vs HoloClean)",
+    )
+    for cell in artifact.cells:
+        row = {"dataset": cell.coords["workload"], **cell.metrics}
+        row["error_rate"] = cell.coords["error_rate"]
+        result.add(row)
+    return result
 
 
 def fig06_error_percentage(
@@ -30,22 +47,31 @@ def fig06_error_percentage(
 ) -> ExperimentResult:
     """F1 and runtime vs error percentage for MLNClean and HoloClean."""
     rates = error_rates if error_rates is not None else default_error_rates()
-    result = ExperimentResult(
-        experiment="fig06",
-        description="F1 / runtime vs error percentage (MLNClean vs HoloClean)",
+    spec = replace(
+        load_spec("fig06"),
+        workloads=list(datasets),
+        error_rates=list(rates),
+        tuples=tuples,
+        seed=seed,
     )
-    for dataset in datasets:
-        for rate in rates:
-            instance = prepare_instance(
-                dataset, tuples=tuples, error_rate=rate, seed=seed
-            )
-            runs = [run_mlnclean(instance)]
-            if include_holoclean:
-                runs.append(run_holoclean(instance))
-            for run in runs:
-                row = run.as_row()
-                row["error_rate"] = rate
-                result.add(row)
+    if not include_holoclean:
+        spec = replace(
+            spec,
+            cleaners=[c for c in spec.cleaners if c.cleaner == "mlnclean"],
+        )
+    return render_fig06(ExperimentRunner(spec).run())
+
+
+def render_fig07(artifact: RunArtifact) -> ExperimentResult:
+    """Project a fig07-shaped artifact onto the figure's rows."""
+    result = ExperimentResult(
+        experiment="fig07",
+        description="F1 vs error type ratio Rret (MLNClean vs HoloClean)",
+    )
+    for cell in artifact.cells:
+        row = {"dataset": cell.coords["workload"], **cell.metrics}
+        row["replacement_ratio"] = cell.coords["replacement_ratio"]
+        result.add(row)
     return result
 
 
@@ -58,24 +84,17 @@ def fig07_error_type_ratio(
     include_holoclean: bool = True,
 ) -> ExperimentResult:
     """F1 vs the proportion of replacement errors (Rret) at a fixed 5 % rate."""
-    result = ExperimentResult(
-        experiment="fig07",
-        description="F1 vs error type ratio Rret (MLNClean vs HoloClean)",
+    spec = replace(
+        load_spec("fig07"),
+        workloads=list(datasets),
+        error_rates=[error_rate],
+        replacement_ratios=list(ratios),
+        tuples=tuples,
+        seed=seed,
     )
-    for dataset in datasets:
-        for ratio in ratios:
-            instance = prepare_instance(
-                dataset,
-                tuples=tuples,
-                error_rate=error_rate,
-                replacement_ratio=ratio,
-                seed=seed,
-            )
-            runs = [run_mlnclean(instance)]
-            if include_holoclean:
-                runs.append(run_holoclean(instance))
-            for run in runs:
-                row = run.as_row()
-                row["replacement_ratio"] = ratio
-                result.add(row)
-    return result
+    if not include_holoclean:
+        spec = replace(
+            spec,
+            cleaners=[c for c in spec.cleaners if c.cleaner == "mlnclean"],
+        )
+    return render_fig07(ExperimentRunner(spec).run())

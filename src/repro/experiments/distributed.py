@@ -1,28 +1,61 @@
-"""Figure 15 and Table 6: the distributed MLNClean experiments.
+"""Figure 15 and Table 6: distributed MLNClean, as specs + renderers.
 
 * **Figure 15** runs distributed MLNClean on HAI and TPC-H while varying the
-  error percentage, reporting F1 and runtime.
+  error percentage, reporting F1 and runtime (``specs/fig15.json``).
 * **Table 6** fixes the workload (TPC-H, 5 % errors) and varies the number of
-  workers from 2 to 10, reporting the runtime; the paper observes roughly a
-  6.7× speedup from 2 to 10 workers.
+  workers from 2 to 10, reporting the runtime (``specs/table06.json``); the
+  paper observes roughly a 6.7× speedup from 2 to 10 workers.
 
-Workers are simulated in-process (see :mod:`repro.distributed`), so runtimes
-are the simulated parallel makespan; the sequential runtime is included so
-speedups can be derived.
+Workers are simulated in-process (see :mod:`repro.distributed`), so the
+reported runtimes are the simulated parallel makespan (the runner exposes
+them as the ``sim_runtime_s`` / ``sequential_s`` / ``speedup`` metrics of
+each cell); the sequential runtime is included so speedups can be derived.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import replace
 from typing import Optional
 
-from repro.core.config import MLNCleanConfig
-from repro.experiments.harness import (
-    ExperimentResult,
-    default_error_rates,
-    prepare_instance,
-    session_for_instance,
+from repro.experiments.harness import ExperimentResult, default_error_rates
+from repro.experiments.spec import (
+    CleanerSpec,
+    ExperimentRunner,
+    RunArtifact,
+    load_spec,
 )
+
+
+def distributed_cleaner(workers: int, label: Optional[str] = None) -> CleanerSpec:
+    """MLNClean on the distributed backend with ``workers`` workers."""
+    return CleanerSpec(
+        cleaner="mlnclean",
+        label=label,
+        options={"backend": "distributed", "workers": int(workers)},
+    )
+
+
+def render_fig15(artifact: RunArtifact) -> ExperimentResult:
+    """Project a fig15-shaped artifact onto the figure's rows."""
+    workers = artifact.cells[0].metrics["workers"] if artifact.cells else 0
+    result = ExperimentResult(
+        experiment="fig15",
+        description=f"distributed MLNClean ({workers} workers) vs error percentage",
+    )
+    for cell in artifact.cells:
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "error_rate": cell.coords["error_rate"],
+                "workers": cell.metrics["workers"],
+                "f1": cell.metrics["f1"],
+                "runtime_s": cell.metrics["sim_runtime_s"],
+                "sequential_s": cell.metrics["sequential_s"],
+                "speedup": cell.metrics["speedup"],
+            }
+        )
+    return result
 
 
 def fig15_distributed(
@@ -34,31 +67,40 @@ def fig15_distributed(
 ) -> ExperimentResult:
     """Distributed F1 and runtime vs error percentage (Figure 15)."""
     rates = error_rates if error_rates is not None else default_error_rates()
-    result = ExperimentResult(
-        experiment="fig15",
-        description=f"distributed MLNClean ({workers} workers) vs error percentage",
+    spec = replace(
+        load_spec("fig15"),
+        workloads=list(datasets),
+        error_rates=list(rates),
+        cleaners=[distributed_cleaner(workers)],
+        tuples=tuples,
+        seed=seed,
     )
-    for dataset in datasets:
-        config = MLNCleanConfig.for_dataset(dataset)
-        for rate in rates:
-            instance = prepare_instance(
-                dataset, tuples=tuples, error_rate=rate, seed=seed
-            )
-            session = session_for_instance(
-                instance, config=config, backend="distributed", workers=workers
-            )
-            details = session.run().details
-            result.add(
-                {
-                    "dataset": dataset,
-                    "error_rate": rate,
-                    "workers": workers,
-                    "f1": round(details.f1, 4),
-                    "runtime_s": round(details.runtime, 4),
-                    "sequential_s": round(details.sequential_runtime, 4),
-                    "speedup": round(details.speedup, 3),
-                }
-            )
+    return render_fig15(ExperimentRunner(spec).run())
+
+
+def render_table06(artifact: RunArtifact) -> ExperimentResult:
+    """Project a table06-shaped artifact onto the table's rows."""
+    result = ExperimentResult(
+        experiment="table06",
+        description="distributed MLNClean runtime vs number of workers",
+    )
+    baseline_runtime: Optional[float] = None
+    for cell in artifact.cells:
+        runtime = cell.metrics["sim_runtime_s"]
+        if baseline_runtime is None:
+            baseline_runtime = runtime
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "workers": cell.metrics["workers"],
+                "runtime_s": runtime,
+                "sequential_s": cell.metrics["sequential_s"],
+                "f1": cell.metrics["f1"],
+                "speedup_vs_first": round(
+                    baseline_runtime / runtime if runtime else 1.0, 3
+                ),
+            }
+        )
     return result
 
 
@@ -70,30 +112,12 @@ def table06_worker_scaling(
     seed: int = 7,
 ) -> ExperimentResult:
     """Distributed runtime vs number of workers (Table 6)."""
-    result = ExperimentResult(
-        experiment="table06",
-        description="distributed MLNClean runtime vs number of workers",
+    spec = replace(
+        load_spec("table06"),
+        workloads=[dataset],
+        error_rates=[error_rate],
+        cleaners=[distributed_cleaner(workers) for workers in worker_counts],
+        tuples=tuples,
+        seed=seed,
     )
-    instance = prepare_instance(dataset, tuples=tuples, error_rate=error_rate, seed=seed)
-    config = MLNCleanConfig.for_dataset(dataset)
-    baseline_runtime: Optional[float] = None
-    for workers in worker_counts:
-        session = session_for_instance(
-            instance, config=config, backend="distributed", workers=workers
-        )
-        details = session.run().details
-        if baseline_runtime is None:
-            baseline_runtime = details.runtime
-        result.add(
-            {
-                "dataset": dataset,
-                "workers": workers,
-                "runtime_s": round(details.runtime, 4),
-                "sequential_s": round(details.sequential_runtime, 4),
-                "f1": round(details.f1, 4),
-                "speedup_vs_first": round(
-                    baseline_runtime / details.runtime if details.runtime else 1.0, 3
-                ),
-            }
-        )
-    return result
+    return render_table06(ExperimentRunner(spec).run())

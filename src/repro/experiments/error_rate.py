@@ -1,22 +1,20 @@
-"""Figures 12-14: component accuracy vs the error percentage.
+"""Figures 12-14: component accuracy vs error percentage, spec + renderers.
 
 With τ fixed at its per-dataset optimum, the paper sweeps the error rate from
 5 % to 30 % and reports the precision/recall of AGP (Figure 12), RSC
 (Figure 13) and FSCR (Figure 14).  As in :mod:`repro.experiments.threshold`,
-the three figures share one instrumented sweep.
+the three figures share one instrumented sweep — the checked-in
+``specs/error_rate_sweep.json`` — and project different columns.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import replace
 from typing import Optional
 
-from repro.experiments.harness import (
-    ExperimentResult,
-    default_error_rates,
-    prepare_instance,
-    run_mlnclean,
-)
+from repro.experiments.harness import ExperimentResult, default_error_rates
+from repro.experiments.spec import ExperimentRunner, RunArtifact, load_spec
 
 
 def error_rate_sweep(
@@ -24,40 +22,42 @@ def error_rate_sweep(
     error_rates: Optional[Sequence[float]] = None,
     tuples: Optional[int] = None,
     seed: int = 7,
-) -> ExperimentResult:
+) -> RunArtifact:
     """Instrumented MLNClean runs over the error-rate grid."""
     rates = error_rates if error_rates is not None else default_error_rates()
-    result = ExperimentResult(
-        experiment="error_rate_sweep",
-        description="MLNClean component metrics vs error percentage",
+    spec = replace(
+        load_spec("error_rate_sweep"),
+        workloads=list(datasets),
+        error_rates=list(rates),
+        tuples=tuples,
+        seed=seed,
     )
-    for dataset in datasets:
-        for rate in rates:
-            instance = prepare_instance(
-                dataset, tuples=tuples, error_rate=rate, seed=seed
-            )
-            run = run_mlnclean(instance)
-            row = run.as_row()
-            row["error_rate"] = rate
-            result.add(row)
-    return result
+    return ExperimentRunner(spec).run()
 
 
 def _project(
-    sweep: ExperimentResult, experiment: str, description: str, columns: Sequence[str]
+    artifact: RunArtifact,
+    experiment: str,
+    description: str,
+    columns: Sequence[str],
 ) -> ExperimentResult:
     projected = ExperimentResult(experiment=experiment, description=description)
-    keep = ["dataset", "error_rate", *columns]
-    for row in sweep.rows:
-        projected.add({key: row[key] for key in keep if key in row})
+    for cell in artifact.cells:
+        row: dict = {
+            "dataset": cell.coords["workload"],
+            "error_rate": cell.coords["error_rate"],
+        }
+        for column in columns:
+            if column in cell.metrics:
+                row[column] = cell.metrics[column]
+        projected.add(row)
     return projected
 
 
 def fig12_agp_error_rate(**kwargs) -> ExperimentResult:
     """AGP Precision-A / Recall-A / #dag vs error percentage (Figure 12)."""
-    sweep = error_rate_sweep(**kwargs)
     return _project(
-        sweep,
+        error_rate_sweep(**kwargs),
         "fig12",
         "AGP precision/recall and #dag vs error percentage",
         ["precision_a", "recall_a", "dag"],
@@ -66,9 +66,8 @@ def fig12_agp_error_rate(**kwargs) -> ExperimentResult:
 
 def fig13_rsc_error_rate(**kwargs) -> ExperimentResult:
     """RSC Precision-R / Recall-R vs error percentage (Figure 13)."""
-    sweep = error_rate_sweep(**kwargs)
     return _project(
-        sweep,
+        error_rate_sweep(**kwargs),
         "fig13",
         "RSC precision/recall vs error percentage",
         ["precision_r", "recall_r"],
@@ -77,9 +76,8 @@ def fig13_rsc_error_rate(**kwargs) -> ExperimentResult:
 
 def fig14_fscr_error_rate(**kwargs) -> ExperimentResult:
     """FSCR Precision-F / Recall-F vs error percentage (Figure 14)."""
-    sweep = error_rate_sweep(**kwargs)
     return _project(
-        sweep,
+        error_rate_sweep(**kwargs),
         "fig14",
         "FSCR precision/recall vs error percentage",
         ["precision_f", "recall_f"],

@@ -13,7 +13,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.baselines.holoclean import HoloCleanBaseline, HoloCleanConfig
+from repro.baselines.holoclean import HoloCleanConfig
 from repro.core.config import MLNCleanConfig
 from repro.errors.injector import ErrorSpec
 from repro.session import CleaningSession
@@ -133,25 +133,36 @@ def session_for_instance(
     instance: WorkloadInstance,
     config: Optional[MLNCleanConfig] = None,
     backend: str = "batch",
+    cleaner: Optional[str] = None,
+    cleaner_options: Optional[dict] = None,
     **backend_options,
 ) -> CleaningSession:
     """A ready-to-run :class:`CleaningSession` over a workload instance.
 
     The session carries the instance's rules, dirty table and ground truth;
     ``config`` defaults to the workload's recommended configuration from the
-    registry.
+    registry.  ``cleaner`` selects a registered cleaning algorithm (the
+    default is MLNClean on ``backend``); ``backend``/``backend_options``
+    only apply to the MLNClean cleaner.
     """
     if config is None:
         config = recommended_config(instance.name)
-    return (
+    builder = (
         CleaningSession.builder()
         .with_rules(instance.rules)
         .with_config(config)
-        .with_backend(backend, **backend_options)
         .with_table(instance.dirty)
         .with_ground_truth(instance.ground_truth)
-        .build()
     )
+    if cleaner is not None:
+        builder = builder.with_cleaner(cleaner, **(cleaner_options or {}))
+        if backend != "batch" or backend_options:
+            # the builder rejects the combination for non-mlnclean cleaners
+            # and for doubly-selected backends
+            builder = builder.with_backend(backend, **backend_options)
+    else:
+        builder = builder.with_backend(backend, **backend_options)
+    return builder.build()
 
 
 def run_mlnclean(
@@ -201,10 +212,17 @@ def run_mlnclean(
 def run_holoclean(
     instance: WorkloadInstance, config: Optional[HoloCleanConfig] = None
 ) -> SystemRun:
-    """Run the HoloClean baseline (perfect detection, as in the paper)."""
-    baseline = HoloCleanBaseline(config)
+    """Run the HoloClean baseline (perfect detection, as in the paper).
+
+    Goes through the unified session/cleaner path, so the run is exactly
+    ``CleaningSession.builder().with_cleaner("holoclean")`` on the
+    instance's table, rules and ground truth.
+    """
+    session = session_for_instance(
+        instance, cleaner="holoclean", cleaner_options={"config": config}
+    )
     started = time.perf_counter()
-    report = baseline.clean(instance.dirty, instance.rules, instance.ground_truth)
+    report = session.run()
     elapsed = time.perf_counter() - started
     return SystemRun(
         dataset=instance.name,
@@ -213,7 +231,7 @@ def run_holoclean(
         precision=report.accuracy.precision if report.accuracy else 0.0,
         recall=report.accuracy.recall if report.accuracy else 0.0,
         runtime_seconds=elapsed,
-        extras={"detected_cells": float(len(report.detected_cells))},
+        extras={"detected_cells": float(len(report.details.detected_cells))},
     )
 
 

@@ -1,4 +1,4 @@
-"""Figures 8-11: the effect of the AGP threshold τ.
+"""Figures 8-11: the effect of the AGP threshold τ, as a spec + renderers.
 
 The paper sweeps τ (0-5 on CAR, 0-50 on HAI) and reports, per value:
 
@@ -8,22 +8,33 @@ The paper sweeps τ (0-5 on CAR, 0-50 on HAI) and reports, per value:
 * Figure 10 — FSCR Precision-F and Recall-F,
 * Figure 11 — the overall F1 and runtime of MLNClean.
 
-All four figures come from the same instrumented runs, so the shared sweep
-lives in :func:`threshold_sweep` and the per-figure functions project the
-columns the corresponding figure plots.
+All four figures come from the same instrumented runs: one checked-in spec
+(``specs/threshold_sweep.json``, whose per-workload ``config_grid`` holds
+the τ grids) feeds four thin renderers that project the columns each figure
+plots.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import replace
 from typing import Optional
 
-from repro.experiments.harness import (
-    ExperimentResult,
-    default_thresholds,
-    prepare_instance,
-    run_mlnclean,
+from repro.experiments.harness import ExperimentResult, default_thresholds
+from repro.experiments.spec import (
+    ConfigCell,
+    ExperimentRunner,
+    RunArtifact,
+    load_spec,
 )
+
+
+def threshold_grid(thresholds: Sequence[int]) -> list[ConfigCell]:
+    """A τ grid as configuration cells."""
+    return [
+        ConfigCell(overrides={"abnormal_threshold": int(threshold)})
+        for threshold in thresholds
+    ]
 
 
 def threshold_sweep(
@@ -32,45 +43,52 @@ def threshold_sweep(
     error_rate: float = 0.05,
     tuples: Optional[int] = None,
     seed: int = 7,
-) -> ExperimentResult:
+) -> RunArtifact:
     """Instrumented MLNClean runs over the τ grid of every dataset."""
-    result = ExperimentResult(
-        experiment="threshold_sweep",
-        description="MLNClean component metrics vs AGP threshold",
-    )
-    for dataset in datasets:
-        grid = (
+    spec = load_spec("threshold_sweep")
+    grid = {
+        dataset: threshold_grid(
             thresholds[dataset]
             if thresholds is not None and dataset in thresholds
             else default_thresholds(dataset)
         )
-        instance = prepare_instance(
-            dataset, tuples=tuples, error_rate=error_rate, seed=seed
-        )
-        for threshold in grid:
-            run = run_mlnclean(instance, threshold=threshold)
-            row = run.as_row()
-            row["threshold"] = threshold
-            result.add(row)
-    return result
+        for dataset in datasets
+    }
+    spec = replace(
+        spec,
+        workloads=list(datasets),
+        error_rates=[error_rate],
+        config_grid=grid,
+        tuples=tuples,
+        seed=seed,
+    )
+    return ExperimentRunner(spec).run()
 
 
 def _project(
-    sweep: ExperimentResult, experiment: str, description: str, columns: Sequence[str]
+    artifact: RunArtifact,
+    experiment: str,
+    description: str,
+    columns: Sequence[str],
 ) -> ExperimentResult:
     """Keep only the columns a specific figure plots."""
     projected = ExperimentResult(experiment=experiment, description=description)
-    keep = ["dataset", "threshold", *columns]
-    for row in sweep.rows:
-        projected.add({key: row[key] for key in keep if key in row})
+    for cell in artifact.cells:
+        row: dict = {
+            "dataset": cell.coords["workload"],
+            "threshold": cell.coords["config"]["overrides"]["abnormal_threshold"],
+        }
+        for column in columns:
+            if column in cell.metrics:
+                row[column] = cell.metrics[column]
+        projected.add(row)
     return projected
 
 
 def fig08_agp_threshold(**kwargs) -> ExperimentResult:
     """AGP Precision-A / Recall-A / #dag vs τ (Figure 8)."""
-    sweep = threshold_sweep(**kwargs)
     return _project(
-        sweep,
+        threshold_sweep(**kwargs),
         "fig08",
         "AGP precision/recall and #dag vs threshold",
         ["precision_a", "recall_a", "dag"],
@@ -79,23 +97,29 @@ def fig08_agp_threshold(**kwargs) -> ExperimentResult:
 
 def fig09_rsc_threshold(**kwargs) -> ExperimentResult:
     """RSC Precision-R / Recall-R vs τ (Figure 9)."""
-    sweep = threshold_sweep(**kwargs)
     return _project(
-        sweep, "fig09", "RSC precision/recall vs threshold", ["precision_r", "recall_r"]
+        threshold_sweep(**kwargs),
+        "fig09",
+        "RSC precision/recall vs threshold",
+        ["precision_r", "recall_r"],
     )
 
 
 def fig10_fscr_threshold(**kwargs) -> ExperimentResult:
     """FSCR Precision-F / Recall-F vs τ (Figure 10)."""
-    sweep = threshold_sweep(**kwargs)
     return _project(
-        sweep, "fig10", "FSCR precision/recall vs threshold", ["precision_f", "recall_f"]
+        threshold_sweep(**kwargs),
+        "fig10",
+        "FSCR precision/recall vs threshold",
+        ["precision_f", "recall_f"],
     )
 
 
 def fig11_overall_threshold(**kwargs) -> ExperimentResult:
     """Overall MLNClean F1 and runtime vs τ (Figure 11)."""
-    sweep = threshold_sweep(**kwargs)
     return _project(
-        sweep, "fig11", "MLNClean F1 and runtime vs threshold", ["f1", "runtime_s"]
+        threshold_sweep(**kwargs),
+        "fig11",
+        "MLNClean F1 and runtime vs threshold",
+        ["f1", "runtime_s"],
     )

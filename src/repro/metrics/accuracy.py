@@ -77,6 +77,41 @@ class RepairAccuracy:
             "removed_dirty_cells": float(self.removed_dirty_cells),
         }
 
+    def to_json_dict(self) -> dict:
+        """Lossless JSON form: the raw counters plus the changed cells.
+
+        Unlike :meth:`as_dict` (floats, derived scores included) this keeps
+        exact integers so :meth:`from_json_dict` reconstructs an instance
+        whose derived precision/recall/F1 are bit-identical.
+        """
+        return {
+            "updated_cells": self.updated_cells,
+            "correct_repairs": self.correct_repairs,
+            "erroneous_cells": self.erroneous_cells,
+            "missed_errors": self.missed_errors,
+            "false_updates": self.false_updates,
+            "removed_dirty_cells": self.removed_dirty_cells,
+            "changed_cells": [
+                [cell.tid, cell.attribute] for cell in self.changed_cells
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RepairAccuracy":
+        """Rebuild an instance from :meth:`to_json_dict` output."""
+        return cls(
+            updated_cells=int(data["updated_cells"]),
+            correct_repairs=int(data["correct_repairs"]),
+            erroneous_cells=int(data["erroneous_cells"]),
+            missed_errors=int(data["missed_errors"]),
+            false_updates=int(data["false_updates"]),
+            removed_dirty_cells=int(data["removed_dirty_cells"]),
+            changed_cells=[
+                Cell(int(tid), attribute)
+                for tid, attribute in data.get("changed_cells", [])
+            ],
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RepairAccuracy(precision={self.precision:.3f}, "

@@ -53,6 +53,15 @@ class StageCounts:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
 
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary (JSON-safe, field order)."""
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "StageCounts":
+        """Rebuild the counters from :meth:`as_dict` output."""
+        return cls(**{key: int(value) for key, value in data.items()})
+
 
 @dataclass
 class ComponentAccuracy:

@@ -11,9 +11,24 @@ domain-specific wrappers over it.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Generic, Optional, TypeVar
 
 F = TypeVar("F")
+
+
+def unknown_name(kind: str, name: str, available: Sequence[str]) -> str:
+    """The shared "unknown name" error message: always lists what exists.
+
+    Every lookup error across the registries (workloads, stages, backends,
+    cleaners, experiments) goes through this helper so a typo'd name is
+    answered with the registered names instead of a bare ``KeyError``.
+    """
+    if available:
+        listing = ", ".join(repr(n) for n in available)
+    else:
+        listing = "none registered"
+    return f"unknown {kind} {name!r}; registered {kind}s: {listing}"
 
 
 class Registry(Generic[F]):
@@ -50,9 +65,7 @@ class Registry(Generic[F]):
         """The factory bound to ``name``; raises ``KeyError`` when unknown."""
         factory = self.lookup(name)
         if factory is None:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; available: {self.names()}"
-            )
+            raise KeyError(unknown_name(self.kind, name, self.names()))
         return factory
 
     def items(self) -> list[tuple[str, F]]:

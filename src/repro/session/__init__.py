@@ -12,6 +12,9 @@ swappable internals:
 * :mod:`repro.session.backends` — the :class:`ExecutionBackend` protocol,
   the backend registry (:func:`register_backend`), and the three built-in
   adapters over the existing engines,
+* :mod:`repro.session.cleaners` — the :class:`Cleaner` protocol and registry
+  (:func:`register_cleaner`): MLNClean and every comparison baseline behind
+  one ``with_cleaner(name)`` call, all returning the unified report,
 * :mod:`repro.core.stages` (re-exported here) — the pluggable
   :class:`~repro.core.stages.Stage` protocol and registry the batch pipeline
   executes.
@@ -40,6 +43,16 @@ from repro.session.backends import (
     get_backend,
     register_backend,
 )
+from repro.session.cleaners import (
+    Cleaner,
+    FactorGraphCleaner,
+    HoloCleanCleaner,
+    MLNCleanCleaner,
+    MinimalRepairCleaner,
+    available_cleaners,
+    get_cleaner,
+    register_cleaner,
+)
 from repro.session.session import (
     CleaningSession,
     Session,
@@ -62,6 +75,14 @@ __all__ = [
     "register_backend",
     "available_backends",
     "get_backend",
+    "Cleaner",
+    "MLNCleanCleaner",
+    "HoloCleanCleaner",
+    "MinimalRepairCleaner",
+    "FactorGraphCleaner",
+    "register_cleaner",
+    "available_cleaners",
+    "get_cleaner",
     "Stage",
     "StageContext",
     "DEFAULT_STAGES",

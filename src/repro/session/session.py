@@ -24,18 +24,25 @@ sequence; the result is always the unified
 
 from __future__ import annotations
 
+import re
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.constraints.parser import parse_rule, parse_rules
+from repro.constraints.parser import parse_rule
 from repro.constraints.rules import Rule
 from repro.core.config import MLNCleanConfig
 from repro.core.report import CleaningReport
 from repro.dataset.io import read_csv
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
-from repro.session.backends import CleaningRequest, ExecutionBackend, get_backend
+from repro.session.backends import CleaningRequest, ExecutionBackend
+from repro.session.cleaners import (
+    Cleaner,
+    MLNCleanCleaner,
+    cleaner_factory,
+    get_cleaner,
+)
 
 #: anything :func:`load_rules` understands
 RulesLike = Union[str, Path, Rule, Iterable[Union[str, Rule]]]
@@ -88,7 +95,20 @@ def _load_raw(source: RulesLike) -> list[Rule]:
     ]
 
 
+#: ``name: rule`` prefix in rule files (the form :func:`rules_to_strings`
+#: renders); "DC" is excluded so a bare denial constraint stays anonymous
+_NAMED_RULE_LINE = re.compile(r"^(?P<name>[A-Za-z_][\w.-]*)\s*:\s*(?P<body>.+)$")
+
+
 def _rules_from_file(path: Path) -> list[Rule]:
+    """Parse a rule file, honouring optional ``name: rule`` prefixes.
+
+    Lines may carry an explicit name (``r1: CT -> ST``); unnamed lines get
+    positional names later.  Two lines claiming the same explicit name would
+    previously both be renumbered silently — since the MLN index keys its
+    blocks by rule name, that hid a dropped constraint, so a duplicate now
+    raises instead.
+    """
     if not path.is_file():
         raise FileNotFoundError(f"rule file {path} does not exist")
     lines = [
@@ -96,7 +116,24 @@ def _rules_from_file(path: Path) -> list[Rule]:
         for line in path.read_text(encoding="utf-8").splitlines()
     ]
     texts = [line for line in lines if line and not line.startswith("#")]
-    return parse_rules(texts, prefix=_AUTONAME)
+    rules: list[Rule] = []
+    named: set[str] = set()
+    for index, text in enumerate(texts, start=1):
+        match = _NAMED_RULE_LINE.match(text)
+        if match is not None and match.group("name").lower() != "dc":
+            name = match.group("name")
+            if name in named:
+                raise ValueError(
+                    f"duplicate rule name {name!r} in rule file {path}: "
+                    f"every rule needs a distinct name (the MLN index keys "
+                    f"blocks by rule name, so a collision would silently "
+                    f"drop a constraint)"
+                )
+            named.add(name)
+            rules.append(parse_rule(match.group("body"), name=name))
+        else:
+            rules.append(parse_rule(text, name=f"{_AUTONAME}{index}"))
+    return rules
 
 
 def load_table(
@@ -144,6 +181,9 @@ class SessionBuilder:
         self._config_overrides: dict[str, object] = {}
         self._backend_name: str = "batch"
         self._backend_options: dict[str, object] = {}
+        self._backend_selected: bool = False
+        self._cleaner_name: Optional[str] = None
+        self._cleaner_options: dict[str, object] = {}
         self._stages: Optional[list[str]] = None
         self._table: Optional[Table] = None
         self._ground_truth: Optional[GroundTruth] = None
@@ -171,9 +211,27 @@ class SessionBuilder:
         return self
 
     def with_backend(self, name: str, **options) -> "SessionBuilder":
-        """Select the execution backend by registry name, with its options."""
+        """Select the execution backend by registry name, with its options.
+
+        Backend selection configures the (default) ``"mlnclean"`` cleaner —
+        the baselines of :mod:`repro.session.cleaners` are stand-alone
+        algorithms with no execution backend.
+        """
         self._backend_name = name
         self._backend_options = dict(options)
+        self._backend_selected = True
+        return self
+
+    def with_cleaner(self, name: str, **options) -> "SessionBuilder":
+        """Select the cleaning algorithm by registry name, with its options.
+
+        ``with_cleaner("holoclean")`` swaps the whole algorithm the same way
+        ``with_backend("distributed")`` swaps MLNClean's execution engine;
+        every cleaner returns the unified
+        :class:`~repro.core.report.CleaningReport`.
+        """
+        self._cleaner_name = name
+        self._cleaner_options = dict(options)
         return self
 
     def with_stages(self, *names: str) -> "SessionBuilder":
@@ -203,21 +261,45 @@ class SessionBuilder:
         return self
 
     def build(self) -> "CleaningSession":
-        """Construct the session (the backend is instantiated here)."""
+        """Construct the session (the cleaner and backend are instantiated here)."""
         config = self._config or MLNCleanConfig()
         if self._config_overrides:
             from dataclasses import replace
 
             config = replace(config, **self._config_overrides)
-        backend = get_backend(self._backend_name, **self._backend_options)
         return CleaningSession(
             rules=list(self._rules),
             config=config,
-            backend=backend,
+            cleaner=self._build_cleaner(),
             stages=self._stages,
             table=self._table,
             ground_truth=self._ground_truth,
         )
+
+    def _build_cleaner(self) -> Cleaner:
+        """Resolve the cleaner/backend selections into one cleaner instance."""
+        if self._cleaner_name is None:
+            return MLNCleanCleaner(self._backend_name, **self._backend_options)
+        factory = cleaner_factory(self._cleaner_name)
+        if factory is MLNCleanCleaner:
+            options = dict(self._cleaner_options)
+            if self._backend_selected:
+                if "backend" in options:
+                    raise ValueError(
+                        "the execution backend was selected twice: drop "
+                        "either with_backend(...) or the cleaner's "
+                        "backend=... option"
+                    )
+                options["backend"] = self._backend_name
+                options.update(self._backend_options)
+            return factory(**options)
+        if self._backend_selected:
+            raise ValueError(
+                f"the {self._cleaner_name!r} cleaner is a stand-alone "
+                f"algorithm; with_backend(...) configures the 'mlnclean' "
+                f"cleaner only"
+            )
+        return factory(**self._cleaner_options)
 
 
 def _extend_rules(existing: list[Rule], source: RulesLike, prefix: str = "r") -> None:
@@ -257,19 +339,37 @@ class CleaningSession:
         self,
         rules: Optional[Sequence[Rule]] = None,
         config: Optional[MLNCleanConfig] = None,
-        backend: Union[ExecutionBackend, str] = "batch",
+        backend: Optional[Union[ExecutionBackend, str]] = None,
         stages: Optional[Sequence[str]] = None,
         table: Optional[Table] = None,
         ground_truth: Optional[GroundTruth] = None,
+        cleaner: Optional[Union[Cleaner, str]] = None,
     ):
         self.rules: list[Rule] = list(rules) if rules is not None else []
         self.config = config or MLNCleanConfig()
-        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        if cleaner is None:
+            # the historic constructor shape: MLNClean on the given backend
+            self.cleaner: Cleaner = MLNCleanCleaner(
+                backend if backend is not None else "batch"
+            )
+        else:
+            if backend is not None:
+                raise ValueError(
+                    "pass either cleaner or backend, not both: the backend "
+                    "configures the default mlnclean cleaner (use "
+                    "cleaner=MLNCleanCleaner(backend, ...) to combine them)"
+                )
+            self.cleaner = get_cleaner(cleaner) if isinstance(cleaner, str) else cleaner
         self.stages = list(stages) if stages is not None else None
         self.table = table
         self.ground_truth = ground_truth
         #: the report of the most recent run (None before the first run)
         self.last_report: Optional[CleaningReport] = None
+
+    @property
+    def backend(self) -> Optional[ExecutionBackend]:
+        """The execution backend of an MLNClean session (None otherwise)."""
+        return getattr(self.cleaner, "backend", None)
 
     @staticmethod
     def builder() -> SessionBuilder:
@@ -336,7 +436,7 @@ class CleaningSession:
             ground_truth=truth,
             stages=list(self.stages) if self.stages is not None else None,
         )
-        self.last_report = self.backend.run(request)
+        self.last_report = self.cleaner.run(request)
         return self.last_report
 
     #: HoloClean-style alias: ``session.clean()`` == ``session.run()``
@@ -345,8 +445,12 @@ class CleaningSession:
     def describe(self) -> str:
         """One line summarising the session's configuration."""
         stages = "default" if self.stages is None else "→".join(self.stages)
+        backend = self.backend
+        engine = f"cleaner={self.cleaner.name}"
+        if backend is not None:
+            engine += f", backend={backend.name}"
         return (
-            f"CleaningSession(backend={self.backend.name}, "
+            f"CleaningSession({engine}, "
             f"rules={len(self.rules)}, stages={stages}, "
             f"tau={self.config.abnormal_threshold}, "
             f"metric={self.config.distance_metric})"

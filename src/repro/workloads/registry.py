@@ -14,7 +14,7 @@ from __future__ import annotations
 import warnings
 from typing import TYPE_CHECKING, Optional, Type
 
-from repro.registry import Registry
+from repro.registry import Registry, unknown_name
 from repro.workloads.base import WorkloadGenerator
 from repro.workloads.car import CarWorkloadGenerator
 from repro.workloads.hai import HAIWorkloadGenerator
@@ -100,12 +100,9 @@ def get_workload_generator(
     ``tuples`` overrides the generator's default size; extra keyword
     arguments are forwarded to the generator constructor.
     """
-    try:
-        generator_cls = _GENERATORS.get(name)
-    except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {available_workloads()}"
-        ) from None
+    generator_cls = _GENERATORS.lookup(name)
+    if generator_cls is None:
+        raise KeyError(unknown_name("workload", name, available_workloads())) from None
     if tuples is not None:
         return generator_cls(tuples=tuples, seed=seed, **kwargs)
     return generator_cls(seed=seed, **kwargs)

@@ -15,7 +15,7 @@ def run_example(monkeypatch, capsys, script: str, argv: list[str]):
 
 def test_quickstart_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "quickstart.py", [])
-    assert "CleaningSession(backend=batch" in output
+    assert "CleaningSession(cleaner=mlnclean, backend=batch" in output
     assert "Dirty input" in output
     assert "Final clean table" in output
     # the typo DOTH disappears and the duplicates collapse
@@ -33,6 +33,13 @@ def test_car_error_types_example(monkeypatch, capsys):
     output = run_example(monkeypatch, capsys, "car_error_types.py", ["300"])
     assert "fig07" in output
     assert "All-typo setting" in output
+
+
+def test_cleaners_tour_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "cleaners_tour.py", ["48"])
+    assert "registered cleaners" in output
+    assert "holoclean" in output and "factor-graph" in output
+    assert "artifact JSON round-trip bit-identical: True" in output
 
 
 def test_distributed_tpch_example(monkeypatch, capsys):

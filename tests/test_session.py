@@ -126,6 +126,52 @@ def test_rule_names_never_collide_silently():
         load_rules([named, FunctionalDependency(["A"], ["D"], name="r2")])
 
 
+def test_load_rules_file_honours_explicit_names(tmp_path):
+    path = tmp_path / "named.rules"
+    path.write_text(
+        "# named rules round-trip\n"
+        "city_state: CT -> ST\n"
+        "HN, PN -> CT\n"
+        "phones: DC: PN(t1)=PN(t2) & ST(t1)!=ST(t2)\n"
+        "DC: CT(t1)=CT(t2) & HN(t1)!=HN(t2)\n"
+    )
+    rules = load_rules(path)
+    assert [rule.name for rule in rules] == ["city_state", "r2", "phones", "r4"]
+    assert rules[2].kind == "DC"
+    assert rules[3].kind == "DC"  # a bare "DC:" line is not a name prefix
+
+
+def test_load_rules_file_rejects_duplicate_names(tmp_path):
+    path = tmp_path / "dup.rules"
+    path.write_text("r1: CT -> ST\nr1: HN, PN -> CT\n")
+    with pytest.raises(ValueError, match="duplicate rule name 'r1'") as excinfo:
+        load_rules(path)
+    # the error names the offending file and explains the constraint
+    assert "dup.rules" in str(excinfo.value)
+    assert "distinct name" in str(excinfo.value)
+
+
+def test_unknown_name_errors_list_registered_names():
+    """One shared unknown_name() helper backs every registry lookup error."""
+    from repro.core.stages import get_stage
+    from repro.session.cleaners import get_cleaner
+    from repro.workloads.registry import get_workload_generator
+
+    cases = (
+        (lambda: get_backend("nope"), "backend", "'batch'"),
+        (lambda: get_stage("nope", MLNCleanConfig()), "stage", "'agp'"),
+        (lambda: get_cleaner("nope"), "cleaner", "'mlnclean'"),
+        (lambda: get_workload_generator("nope"), "workload", "'hai'"),
+    )
+    for lookup, kind, expected_name in cases:
+        with pytest.raises(KeyError) as excinfo:
+            lookup()
+        message = str(excinfo.value)
+        assert f"unknown {kind} 'nope'" in message.replace('"', "'"), kind
+        assert f"registered {kind}s:" in message, kind
+        assert expected_name in message, kind
+
+
 def test_session_load_rules_accumulates_and_replaces():
     session = CleaningSession()
     session.load_rules("A -> B")
