@@ -10,8 +10,8 @@ stopped firing.  The job fails when ``distance_calls`` or
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_perf_baseline.py          # gate
-    PYTHONPATH=src python benchmarks/check_perf_baseline.py --write  # rebaseline
+    python benchmarks/check_perf_baseline.py          # gate (installed pkg,
+    python benchmarks/check_perf_baseline.py --write  # or PYTHONPATH=src)
 """
 
 from __future__ import annotations

@@ -39,6 +39,10 @@ Sub-packages:
 * :mod:`repro.distributed` — the partitioned (Spark-style) MLNClean,
 * :mod:`repro.streaming` — incremental MLNClean over micro-batches of
   tuple deltas (continuously arriving data),
+* :mod:`repro.service` — the concurrent, sharded cleaning service: a
+  bounded asyncio job queue, warm per-(workload, cleaner, config) session
+  shards, micro-batch coalescing onto the streaming engine, and a
+  stdlib-only HTTP front end (``python -m repro.service serve``),
 * :mod:`repro.workloads` — HAI / CAR / TPC-H synthetic workload generators
   and the workload registry (names, sizes, recommended configs),
 * :mod:`repro.experiments` — declarative experiments: checked-in
@@ -84,7 +88,7 @@ from repro.streaming import (
     WorkloadStreamSource,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CleaningSession",

@@ -1,0 +1,57 @@
+"""Shared command-line plumbing for the package's entry points.
+
+``python -m repro.experiments`` and ``python -m repro.service`` are separate
+programs but take the same operational flags; this module is the single
+argparse *parent* both attach, so the flags stay spelled, defaulted and
+documented identically:
+
+* ``--log-level`` — stdlib logging threshold for the process,
+* ``--seed`` — the workload-generation seed (experiments override their
+  spec's seed with it; the service uses it for server-side workload
+  instances).
+
+Usage::
+
+    parser = argparse.ArgumentParser(parents=[common_parent()], ...)
+    args = parser.parse_args()
+    configure_logging(args.log_level)
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+#: accepted ``--log-level`` spellings (stdlib level names, lowercased)
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def common_parent() -> argparse.ArgumentParser:
+    """The shared ``--log-level`` / ``--seed`` parent parser.
+
+    Returned with ``add_help=False`` so it composes as an argparse
+    ``parents=[...]`` entry without clashing with the child's ``-h``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="stdlib logging threshold (default: warning)",
+    )
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload-generation seed (default: the spec's / service's own)",
+    )
+    return parent
+
+
+def configure_logging(level: str) -> None:
+    """Apply ``--log-level`` to the root logger (idempotent)."""
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    logging.getLogger().setLevel(getattr(logging, level.upper()))

@@ -30,6 +30,7 @@ plus post-paper capability studies::
 
     streaming          incremental micro-batch cleaning vs naive full re-clean
     streaming_replay   batch vs streaming-backend equivalence (declarative)
+    service_replay     batch vs the repro.service queue/shard path (declarative)
 """
 
 from repro.experiments.harness import (
@@ -87,6 +88,10 @@ from repro.experiments.streaming import (
     streaming_incremental,
     streaming_replay,
 )
+from repro.experiments.service_replay import (
+    render_service_replay,
+    service_replay,
+)
 
 #: experiment id -> harness callable (all accept ``tuples`` and ``seed``)
 EXPERIMENTS = {
@@ -107,6 +112,7 @@ EXPERIMENTS = {
     "ablation_partition": ablation_partitioner,
     "streaming": streaming_incremental,
     "streaming_replay": streaming_replay,
+    "service_replay": service_replay,
 }
 
 #: spec name -> renderer for artifacts produced from that (shaped) spec;
@@ -122,6 +128,7 @@ RENDERERS = {
     "ablation_rscore": render_ablation_rscore,
     "ablation_partition": render_ablation_partition,
     "streaming_replay": render_streaming_replay,
+    "service_replay": render_service_replay,
 }
 
 __all__ = [
@@ -160,4 +167,6 @@ __all__ = [
     "ablation_partitioner",
     "streaming_incremental",
     "streaming_replay",
+    "service_replay",
+    "render_service_replay",
 ]

@@ -23,6 +23,7 @@ import sys
 from dataclasses import replace
 from pathlib import Path
 
+from repro.cli import common_parent, configure_logging
 from repro.experiments import RENDERERS, available_specs
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.spec import ExperimentRunner, RunArtifact, load_spec
@@ -62,6 +63,8 @@ def cmd_run(args) -> int:
     spec = load_spec(args.spec)
     if args.tuples is not None:
         spec = replace(spec, tuples=args.tuples)
+    if args.seed is not None:
+        spec = replace(spec, seed=args.seed)
     artifact = ExperimentRunner(spec).run()
     if args.out:
         path = artifact.save(args.out)
@@ -109,9 +112,15 @@ def main(argv=None) -> int:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list the checked-in experiment specs")
+    # the operational flags (--log-level, --seed) are shared with
+    # `python -m repro.service` through repro.cli
+    commands.add_parser(
+        "list", parents=[common_parent()], help="list the checked-in experiment specs"
+    )
 
-    run = commands.add_parser("run", help="run a spec into a RunArtifact")
+    run = commands.add_parser(
+        "run", parents=[common_parent()], help="run a spec into a RunArtifact"
+    )
     run.add_argument("spec", help="checked-in spec name or spec JSON path")
     run.add_argument("--tuples", type=int, default=None, help="override workload size")
     run.add_argument("--out", default=None, help="write the artifact JSON here")
@@ -119,11 +128,15 @@ def main(argv=None) -> int:
         "--render", action="store_true", help="also print the rendered table"
     )
 
-    render = commands.add_parser("render", help="re-render a saved artifact")
+    render = commands.add_parser(
+        "render", parents=[common_parent()], help="re-render a saved artifact"
+    )
     render.add_argument("artifact", help="RunArtifact JSON path")
 
     check = commands.add_parser(
-        "check-metrics", help="gate an artifact's metric keys against a schema"
+        "check-metrics",
+        parents=[common_parent()],
+        help="gate an artifact's metric keys against a schema",
     )
     check.add_argument("artifact", help="RunArtifact JSON path")
     check.add_argument("schema", help="schema JSON path (sorted key list)")
@@ -132,6 +145,7 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     handler = {
         "list": cmd_list,
         "run": cmd_run,

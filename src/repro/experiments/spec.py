@@ -445,7 +445,10 @@ def _cell_metrics(
     if any(o is not None for o in (report.agp, report.rsc, report.fscr)):
         for key, value in report.component_accuracy.as_dict().items():
             metrics[key] = round(value, 4)
-    if isinstance(cleaner, MLNCleanCleaner):
+    # Cleaners that *route to* MLNClean (the service cleaner's default) get
+    # the same metric layout, so equality checks compare like with like.
+    routes_to_mlnclean = getattr(cleaner, "inner", None) == "mlnclean"
+    if isinstance(cleaner, MLNCleanCleaner) or routes_to_mlnclean:
         metrics["duplicates_removed"] = float(
             report.dedup.removed_count if report.dedup is not None else 0
         )

@@ -16,10 +16,12 @@ from repro.perf.engine import (
     global_distance_stats,
     reset_global_distance_stats,
 )
+from repro.perf.stats import LatencyWindow
 
 __all__ = [
     "DistanceEngine",
     "DistanceStats",
+    "LatencyWindow",
     "global_distance_stats",
     "reset_global_distance_stats",
 ]

@@ -1,0 +1,88 @@
+"""Lightweight runtime statistics for long-lived processes.
+
+The cleaning *library* reports wall-clock per run (``TimingBreakdown``); a
+cleaning *service* needs distributions over many runs — "what is the p95
+request latency right now" — without keeping every sample forever.
+:class:`LatencyWindow` is the standard fixed-size reservoir of the most
+recent samples with percentile readout; :mod:`repro.service` records one
+sample per completed job and surfaces the window on ``GET /stats`` next to
+the process-global :func:`~repro.perf.engine.global_distance_stats`
+counters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+
+class LatencyWindow:
+    """Percentiles over the most recent ``maxlen`` duration samples.
+
+    Appends are O(1); percentile readout sorts the retained window (bounded,
+    so cheap).  The window deliberately keeps *recent* behaviour: a latency
+    spike ages out after ``maxlen`` further samples instead of polluting a
+    lifetime average.
+    """
+
+    def __init__(self, maxlen: int = 512):
+        if maxlen < 1:
+            raise ValueError("a latency window needs maxlen >= 1")
+        self.maxlen = maxlen
+        self._samples: deque = deque(maxlen=maxlen)
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one duration sample (in seconds)."""
+        self._samples.append(float(seconds))
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Samples recorded over the window's lifetime (not just retained)."""
+        return self._count
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The ``fraction``-quantile (0..1) of the retained window.
+
+        Nearest-rank on the sorted retained samples; ``None`` before the
+        first sample.
+        """
+        if not self._samples:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        ordered = sorted(self._samples)
+        # nearest-rank: the ceil(f·n)-th smallest sample (1-indexed)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(0.95)
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (what ``GET /stats`` serves).
+
+        ``count`` is lifetime; every other number describes the retained
+        window only, so an old spike genuinely ages out of all of them.
+        """
+
+        def rounded(value: Optional[float]) -> Optional[float]:
+            return round(value, 6) if value is not None else None
+
+        retained = list(self._samples)
+        mean = sum(retained) / len(retained) if retained else None
+        return {
+            "count": self._count,
+            "window": len(retained),
+            "p50_s": rounded(self.p50),
+            "p95_s": rounded(self.p95),
+            "mean_s": rounded(mean),
+            "max_s": rounded(max(retained) if retained else None),
+        }

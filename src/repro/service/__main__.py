@@ -1,0 +1,69 @@
+"""Command-line entry point of the cleaning service.
+
+Usage (with the package installed, or ``PYTHONPATH=src``)::
+
+    python -m repro.service serve --port 8735
+    python -m repro.service serve --host 0.0.0.0 --port 8735 \\
+        --max-pending 128 --workers 8 --log-level info
+
+The operational flags (``--log-level``, ``--seed``) are shared with
+``python -m repro.experiments`` through :mod:`repro.cli`, so both CLIs
+spell them identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+
+from repro.cli import common_parent, configure_logging
+from repro.service.http import serve
+from repro.service.service import ServiceConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="serve concurrent data-cleaning requests over HTTP",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser(
+        "serve", parents=[common_parent()], help="run the HTTP cleaning service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument("--port", type=int, default=8080, help="bind port")
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="bounded backpressure: queued-or-running jobs before 503s",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4, help="cleaning executor threads"
+    )
+
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    config = ServiceConfig(
+        max_pending=args.max_pending,
+        executor_workers=args.workers,
+        default_seed=args.seed,
+    )
+    logging.getLogger("repro.service").info(
+        "starting: host=%s port=%d max_pending=%d workers=%d",
+        args.host,
+        args.port,
+        config.max_pending,
+        config.executor_workers,
+    )
+    try:
+        asyncio.run(serve(args.host, args.port, config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""A small blocking client for the cleaning service (stdlib ``http.client``).
+
+The helper the examples, tests and the CI smoke driver use::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(port=8735)
+    job = client.clean(workload="hospital-sample", tuples=48, error_rate=0.1)
+    report_json = job["result"]["report"]          # a CleaningReport JSON dict
+    print(client.stats()["latency"])
+
+Each call opens its own connection (the server speaks one request per
+connection), so one client instance is safe to share across threads — which
+is exactly how the smoke driver fires its concurrent requests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response, with the server's structured JSON attached."""
+
+    def __init__(self, status: int, payload: dict):
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or json.dumps(payload)[:500]
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 600.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        """One HTTP exchange; raises :class:`ServiceError` on non-2xx."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status >= 400:
+                raise ServiceError(response.status, decoded)
+            return decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def clean(self, *, wait: bool = True, timeout: Optional[float] = None, **fields) -> dict:
+        """``POST /clean``; returns the job object from the response.
+
+        Keyword fields mirror the wire format: ``workload``/``tuples``/
+        ``error_rate``/... or ``table``+``rules``, plus ``cleaner``,
+        ``options``, ``config`` (override mapping) and ``include_report``.
+        With ``wait=True`` (default) the returned job carries ``result``.
+        """
+        payload = {**fields, "wait": wait}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request("POST", "/clean", payload)["job"]
+
+    def deltas(self, deltas: list, *, wait: bool = True, timeout: Optional[float] = None, **fields) -> dict:
+        """``POST /deltas``; ``deltas`` is a list of op-tagged dicts."""
+        payload = {**fields, "deltas": deltas, "wait": wait}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request("POST", "/deltas", payload)["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")["job"]
+
+    def wait_for(self, job_id: str, timeout: float = 300.0, poll: float = 0.1) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job finishes (done or failed)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(poll)
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def wait_until_healthy(self, timeout: float = 30.0, poll: float = 0.2) -> dict:
+        """Block until ``/healthz`` answers (server boot synchronisation)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,54 @@
+"""Micro-batch coalescing: many queued delta requests, one engine tick.
+
+The streaming engine's costs are dominated by *which blocks a tick dirties*,
+not by how many deltas dirtied them — so under load, folding every delta
+request queued for a shard into one ``apply_batch`` call amortises Stage I
+and Stage II across all of them.  :func:`plan_tick` builds that combined
+batch, preserving arrival order and remembering each request's slice so the
+per-request results can be demultiplexed afterwards.
+
+Why coalescing cannot change any answer: the engine's affected-set tracking
+is exact, so its post-tick state is a pure function of the *current table
+contents* (see :mod:`repro.streaming.cleaner` — any replay of the same
+deltas converges to the batch-MLNClean result on the resulting table).
+Applying requests A and B as one combined batch therefore leaves the shard
+in exactly the state of applying A then B as two batches, which is what the
+service equivalence tests assert bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streaming.delta import DeltaBatch
+
+
+@dataclass
+class TickPlan:
+    """One combined micro-batch plus the per-request slice boundaries."""
+
+    #: every queued request's deltas, concatenated in arrival order
+    batch: DeltaBatch = field(default_factory=DeltaBatch)
+    #: per request: (start, end) half-open index range inside ``batch``
+    slices: list = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return len(self.slices)
+
+    def deltas_of(self, index: int) -> int:
+        """How many deltas request ``index`` contributed."""
+        start, end = self.slices[index]
+        return end - start
+
+
+def plan_tick(batches: list) -> TickPlan:
+    """Fold the queued requests' :class:`DeltaBatch` list into one tick."""
+    plan = TickPlan()
+    cursor = 0
+    for batch in batches:
+        for delta in batch:
+            plan.batch.add(delta)
+        plan.slices.append((cursor, cursor + len(batch)))
+        cursor += len(batch)
+    return plan

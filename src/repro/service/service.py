@@ -1,0 +1,397 @@
+"""The cleaning service core: bounded queue, shard workers, coalesced ticks.
+
+``CleaningService`` is the engine behind the HTTP front end (and usable
+in-process without it): an asyncio control plane that accepts decoded
+request specs, routes them through the :class:`~repro.service.pool.SessionPool`
+to per-shard queues, and executes the actual cleaning on a thread pool so
+the event loop stays responsive while CPU-bound work runs.
+
+Concurrency model, in one paragraph: submission is bounded (``max_pending``
+jobs queued-or-running; beyond that :class:`ServiceOverloadedError` — the
+front end's 503).  Every shard has one worker task, so jobs of one shard are
+*serialized* against its warm session and stream engine, while distinct
+shards clean concurrently on the executor.  When a shard worker wakes up it
+drains everything queued for its shard: delta requests are folded into one
+:class:`~repro.streaming.cleaner.StreamingMLNClean` micro-batch via
+:func:`~repro.service.coalescer.plan_tick` (one engine tick per drain —
+natural micro-batching under load), clean requests run one by one in
+arrival order.  Per-job latency lands in a
+:class:`~repro.perf.LatencyWindow`; ``stats()`` surfaces it next to queue
+depth, per-shard throughput and the process-global
+:func:`~repro.perf.global_distance_stats` cache counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Optional, Union
+
+from repro.core.report import table_to_json_dict
+from repro.perf import LatencyWindow, global_distance_stats
+from repro.service.coalescer import plan_tick
+from repro.service.codec import (
+    CleanRequestSpec,
+    DeltaRequestSpec,
+    report_signature,
+)
+from repro.service.errors import ServiceOverloadedError
+from repro.service.jobs import Job, JobStore
+from repro.service.pool import SessionPool, Shard
+
+#: what a request spec may be
+RequestSpec = Union[CleanRequestSpec, DeltaRequestSpec]
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of one service instance."""
+
+    #: bounded backpressure: jobs queued-or-running before submits are shed
+    max_pending: int = 64
+    #: distinct warm shards before shard-creating submits are shed
+    max_shards: int = 256
+    #: threads executing the CPU-bound cleaning work
+    executor_workers: int = 4
+    #: samples retained for the p50/p95 latency readout
+    latency_window: int = 512
+    #: finished jobs kept addressable via ``GET /jobs/<id>``
+    retain_finished_jobs: int = 2048
+    #: server-side default for requests that omit their own ``seed``
+    #: (the ``--seed`` flag of ``python -m repro.service serve``)
+    default_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("the service needs max_pending >= 1")
+        if self.executor_workers < 1:
+            raise ValueError("the service needs executor_workers >= 1")
+
+
+class _ShardRuntime:
+    """A shard's queue and worker task (event-loop-side bookkeeping)."""
+
+    def __init__(self, shard: Shard):
+        self.shard = shard
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+
+
+class CleaningService:
+    """The concurrent, sharded cleaning service (see the module docstring)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.pool = SessionPool(max_shards=self.config.max_shards)
+        self.jobs = JobStore(retain_finished=self.config.retain_finished_jobs)
+        self.latency = LatencyWindow(self.config.latency_window)
+        self._runtimes: dict = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._pending = 0
+        self._started_at: Optional[float] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CleaningService":
+        if self._running:
+            return self
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-service",
+        )
+        self._started_at = time.monotonic()
+        self._running = True
+        return self
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for runtime in self._runtimes.values():
+            if runtime.task is not None:
+                runtime.task.cancel()
+        tasks = [r.task for r in self._runtimes.values() if r.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for runtime in self._runtimes.values():
+            while not runtime.queue.empty():
+                runtime.queue.get_nowait()
+        # Fail every job that never reached done/failed — queued jobs the
+        # drain above orphaned AND jobs a cancelled worker had in flight
+        # (cancellation hits the worker's `await run_in_executor`, which the
+        # job-isolation `except Exception` deliberately does not catch) —
+        # so wait()-ers wake up instead of hanging until their timeout.
+        for job in self.jobs.unfinished():
+            job.fail("service stopped before the job finished")
+        self._pending = 0
+        # worker tasks are dead; a later start() must not route onto them
+        self._runtimes.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "CleaningService":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    @property
+    def pending(self) -> int:
+        """Jobs currently queued or running."""
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, spec: RequestSpec) -> Job:
+        """Route and enqueue one request; returns its :class:`Job` handle.
+
+        Raises :class:`ServiceOverloadedError` when the bounded queue is
+        full, and ``KeyError`` (with the registry name listing) for unknown
+        workload / cleaner names — both *before* anything is enqueued.
+        """
+        if not self._running:
+            raise RuntimeError("the service is not running; call start() first")
+        spec.validate()
+        if self._pending >= self.config.max_pending:
+            raise ServiceOverloadedError(self._pending, self.config.max_pending)
+        shard = self.pool.route(spec)
+        runtime = self._runtime_for(shard)
+        kind = "clean" if isinstance(spec, CleanRequestSpec) else "deltas"
+        job = self.jobs.create(kind=kind, shard=shard.key.label)
+        self._pending += 1
+        runtime.queue.put_nowait((job, spec))
+        return job
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job finishes (done or failed); returns it."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        uptime = time.monotonic() - self._started_at if self._started_at else 0.0
+        return {
+            "status": "ok" if self._running else "stopped",
+            "uptime_s": round(uptime, 3),
+            "pending": self._pending,
+            "shards": len(self.pool.shards()),
+        }
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: queue, latency, shards, cache counters."""
+        shard_stats = self.pool.stats()
+        return {
+            **self.healthz(),
+            "queue": {
+                "pending": self._pending,
+                "max_pending": self.config.max_pending,
+            },
+            "jobs": self.jobs.counts(),
+            "latency": self.latency.as_dict(),
+            "coalescing": {
+                "ticks": sum(s["ticks"] for s in shard_stats),
+                "coalesced_requests": sum(
+                    s["coalesced_requests"] for s in shard_stats
+                ),
+            },
+            "shards": shard_stats,
+            "distance": global_distance_stats().as_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # shard workers
+    # ------------------------------------------------------------------
+    def _runtime_for(self, shard: Shard) -> _ShardRuntime:
+        runtime = self._runtimes.get(shard.key)
+        if runtime is None:
+            runtime = _ShardRuntime(shard)
+            runtime.task = asyncio.get_running_loop().create_task(
+                self._shard_worker(runtime), name=f"shard-{shard.key.label}"
+            )
+            self._runtimes[shard.key] = runtime
+        return runtime
+
+    async def _shard_worker(self, runtime: _ShardRuntime) -> None:
+        """Drain-and-execute loop: one tick (plus queued cleans) per wake-up."""
+        while True:
+            items = [await runtime.queue.get()]
+            while True:
+                try:
+                    items.append(runtime.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            delta_items = [
+                (job, spec)
+                for job, spec in items
+                if isinstance(spec, DeltaRequestSpec)
+            ]
+            clean_items = [
+                (job, spec)
+                for job, spec in items
+                if isinstance(spec, CleanRequestSpec)
+            ]
+            if delta_items:
+                await self._run_tick(runtime.shard, delta_items)
+            for job, spec in clean_items:
+                await self._run_clean(runtime.shard, job, spec)
+
+    async def _run_clean(
+        self, shard: Shard, job: Job, spec: CleanRequestSpec
+    ) -> None:
+        job.mark_running()
+        loop = asyncio.get_running_loop()
+        try:
+            result, report = await loop.run_in_executor(
+                self._executor, partial(self._execute_clean, shard, spec)
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.fail(f"{type(exc).__name__}: {exc}")
+        else:
+            job.finish(result, report)
+            shard.jobs_done += 1
+        self._finalize(job)
+
+    def _execute_clean(self, shard: Shard, spec: CleanRequestSpec):
+        """Thread-side: resolve the data, run the shard's warm session."""
+        table, ground_truth = self.pool.resolve_clean_inputs(spec)
+        report = shard.session.run(table=table, ground_truth=ground_truth)
+        result = {
+            "kind": "clean",
+            "shard": shard.key.label,
+            "backend": report.backend,
+            "signature": report_signature(report),
+            "metrics": {
+                key: round(value, 6) for key, value in report.summary().items()
+            },
+        }
+        if spec.include_report:
+            result["report"] = report.to_json_dict()
+        return result, report
+
+    async def _run_tick(self, shard: Shard, items: list) -> None:
+        jobs = [job for job, _spec in items]
+        specs = [spec for _job, spec in items]
+        for job in jobs:
+            job.mark_running()
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, partial(self._execute_tick, shard, specs)
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            message = f"{type(exc).__name__}: {exc}"
+            for job in jobs:
+                job.fail(message)
+        else:
+            for job, result in zip(jobs, results):
+                if "error" in result:
+                    job.fail(result["error"], kind=result.get("error_kind", "internal"))
+                else:
+                    job.finish(result)
+                    shard.jobs_done += 1
+        for job in jobs:
+            self._finalize(job)
+
+    def _execute_tick(self, shard: Shard, specs: list) -> list:
+        """Thread-side: one coalesced engine tick for all queued delta specs.
+
+        If the *combined* batch fails validation (e.g. two requests deleting
+        the same tuple), fall back to applying each request as its own batch
+        so only the offending requests fail — validation happens before any
+        mutation, so the fallback starts from untouched state.
+        """
+        if shard.stream is None:
+            # the schema lookup can build a (1-tuple) workload instance, so
+            # resolve it only for the tick that actually creates the engine
+            engine = shard.stream_engine(self.pool.schema_for(specs[0]))
+        else:
+            engine = shard.stream
+        plan = plan_tick([spec.deltas for spec in specs])
+        try:
+            batch_report = engine.apply_batch(plan.batch)
+        except (KeyError, ValueError):
+            return self._execute_per_request(shard, engine, specs)
+        shard.ticks += 1
+        shard.coalesced_requests += len(specs)
+        return [
+            self._delta_result(
+                engine,
+                batch_report,
+                requests=len(specs),
+                deltas=plan.deltas_of(index),
+                include_table=spec.include_table,
+            )
+            for index, spec in enumerate(specs)
+        ]
+
+    def _execute_per_request(self, shard: Shard, engine, specs: list) -> list:
+        results = []
+        for spec in specs:
+            try:
+                report = engine.apply_batch(spec.deltas)
+            except (KeyError, ValueError) as exc:
+                # validation rejected the request's deltas before mutating
+                # anything: that is the client's mistake, not a server bug
+                results.append(
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "error_kind": "bad_request",
+                    }
+                )
+                continue
+            shard.ticks += 1
+            shard.coalesced_requests += 1
+            results.append(
+                self._delta_result(
+                    engine,
+                    report,
+                    requests=1,
+                    deltas=len(spec.deltas),
+                    include_table=spec.include_table,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _delta_result(
+        engine, report, requests: int, deltas: int, include_table: bool
+    ) -> dict:
+        """One request's demultiplexed view of the tick it was folded into.
+
+        The cleaned-table snapshot is the shard state *after the whole
+        tick* — coalesced requests observe each other's deltas, exactly as
+        if they had been applied back to back.
+        """
+        result = {
+            "kind": "deltas",
+            "tick": report.sequence,
+            "coalesced_requests": requests,
+            "deltas": deltas,
+            "applied": dict(report.delta_counts),
+            "affected_blocks": list(report.affected_blocks),
+            "evicted_tids": list(report.evicted_tids),
+            "tuples_total": report.tuples_total,
+        }
+        if include_table:
+            result["cleaned"] = table_to_json_dict(engine.cleaned)
+        return result
+
+    def _finalize(self, job: Job) -> None:
+        self._pending -= 1
+        if job.duration is not None:
+            self.latency.record(job.duration)

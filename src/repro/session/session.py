@@ -24,12 +24,15 @@ sequence; the result is always the unified
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import re
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.constraints.parser import parse_rule
+from repro.constraints.parser import parse_rule, rules_to_strings
 from repro.constraints.rules import Rule
 from repro.core.config import MLNCleanConfig
 from repro.core.report import CleaningReport
@@ -376,6 +379,35 @@ class CleaningSession:
         """Start a fluent :class:`SessionBuilder`."""
         return SessionBuilder()
 
+    def fingerprint(self) -> str:
+        """A stable hex digest of the session's cleaning behaviour.
+
+        Covers everything the session itself pins down: the cleaner and (for
+        MLNClean) backend names, the stage order, the attached rules, the
+        full pipeline configuration, and the streaming backend's window
+        policy when one is set.  Two sessions with equal fingerprints run
+        the same algorithm under the same configuration — which is exactly
+        the identity :class:`repro.service.pool.SessionPool` shards warm
+        sessions by.  Execution-only knobs that are proven output-invariant
+        (batch ``parallelism``, distributed ``workers``, streaming replay
+        ``batch_size``) deliberately do not participate.
+
+        Algorithm-specific options of non-MLNClean cleaners (e.g. HoloClean
+        training epochs) are not visible from the session; callers routing
+        on those fold them in on top (the service's shard keys do).
+        """
+        backend = self.backend
+        payload = {
+            "cleaner": self.cleaner.name,
+            "backend": backend.name if backend is not None else None,
+            "stages": list(self.stages) if self.stages is not None else None,
+            "rules": rules_to_strings(self.rules),
+            "config": dataclasses.asdict(self.config),
+            "window": _window_fingerprint(getattr(backend, "window", None)),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
@@ -455,6 +487,23 @@ class CleaningSession:
             f"tau={self.config.abnormal_threshold}, "
             f"metric={self.config.distance_metric})"
         )
+
+
+def _window_fingerprint(window: Optional[object]) -> Optional[dict]:
+    """The JSON-safe identity of a streaming window policy (None = unbounded).
+
+    Window policies change cleaning *output* (eviction removes tuples), so
+    they belong in the fingerprint; only their simple constructor state
+    participates, not their runtime bookkeeping.
+    """
+    if window is None:
+        return None
+    state = {
+        key: value
+        for key, value in vars(window).items()
+        if not key.startswith("_") and isinstance(value, (int, float, str, bool))
+    }
+    return {"kind": type(window).__name__, **state}
 
 
 #: short alias used throughout the docs: ``Session.builder()...``

@@ -22,7 +22,15 @@ for the equivalence proofs.
 """
 
 from repro.streaming.cleaner import StreamingBatchReport, StreamingMLNClean
-from repro.streaming.delta import Delete, Delta, DeltaBatch, Insert, Update
+from repro.streaming.delta import (
+    Delete,
+    Delta,
+    DeltaBatch,
+    Insert,
+    Update,
+    delta_from_json_dict,
+    delta_to_json_dict,
+)
 from repro.streaming.incremental_index import IncrementalMLNIndex
 from repro.streaming.source import (
     SampleHospitalWorkloadGenerator,
@@ -38,6 +46,8 @@ __all__ = [
     "Insert",
     "Update",
     "Delete",
+    "delta_from_json_dict",
+    "delta_to_json_dict",
     "IncrementalMLNIndex",
     "StreamingMLNClean",
     "StreamingBatchReport",

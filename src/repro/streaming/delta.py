@@ -122,3 +122,75 @@ class DeltaBatch:
         for tid in selected:
             batch.add(Insert(values=table.row(tid).as_dict(), tid=tid))
         return batch
+
+    def to_json_list(self) -> list:
+        """All deltas as JSON-safe dictionaries (see :func:`delta_to_json_dict`)."""
+        return [delta_to_json_dict(delta) for delta in self.deltas]
+
+    @classmethod
+    def from_json_list(cls, data: Iterable[Mapping]) -> "DeltaBatch":
+        """Rebuild a batch from decoded JSON deltas (the service's wire form)."""
+        return cls([delta_from_json_dict(item) for item in data])
+
+
+# ----------------------------------------------------------------------
+# JSON codec: how deltas travel over the wire
+# ----------------------------------------------------------------------
+def delta_to_json_dict(delta: Delta) -> dict:
+    """One delta as a JSON-safe dictionary, tagged by an ``op`` field."""
+    if isinstance(delta, Insert):
+        encoded: dict = {"op": "insert", "values": dict(delta.values)}
+        if delta.tid is not None:
+            encoded["tid"] = delta.tid
+        return encoded
+    if isinstance(delta, Update):
+        return {"op": "update", "tid": delta.tid, "changes": dict(delta.changes)}
+    if isinstance(delta, Delete):
+        return {"op": "delete", "tid": delta.tid}
+    raise TypeError(f"unsupported delta {delta!r}")
+
+
+def delta_from_json_dict(data: Mapping) -> Delta:
+    """Decode one ``op``-tagged dictionary back into a delta.
+
+    This is the ingestion path of ``POST /deltas``: every value is coerced
+    to ``str`` (the table model is string-typed) and malformed shapes raise
+    ``ValueError`` with the offending field, so the HTTP layer can answer
+    400 instead of crashing a shard worker.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"a delta must be a JSON object, got {type(data).__name__}")
+
+    def coerce_tid(raw: object) -> int:
+        try:
+            return int(raw)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise ValueError(f"a delta 'tid' must be an integer, got {raw!r}") from None
+
+    op = data.get("op")
+    if op == "insert":
+        values = data.get("values")
+        if not isinstance(values, Mapping):
+            raise ValueError("an insert delta needs a 'values' object")
+        tid = data.get("tid")
+        return Insert(
+            values={str(k): str(v) for k, v in values.items()},
+            tid=coerce_tid(tid) if tid is not None else None,
+        )
+    if op == "update":
+        if "tid" not in data:
+            raise ValueError("an update delta needs a 'tid'")
+        changes = data.get("changes")
+        if not isinstance(changes, Mapping):
+            raise ValueError("an update delta needs a 'changes' object")
+        return Update(
+            tid=coerce_tid(data["tid"]),
+            changes={str(k): str(v) for k, v in changes.items()},
+        )
+    if op == "delete":
+        if "tid" not in data:
+            raise ValueError("a delete delta needs a 'tid'")
+        return Delete(tid=coerce_tid(data["tid"]))
+    raise ValueError(
+        f"unknown delta op {op!r}; expected 'insert', 'update' or 'delete'"
+    )

@@ -63,6 +63,14 @@ def test_backends_tour_example(monkeypatch, capsys):
     assert "batch == distributed: True" in output
 
 
+def test_service_quickstart_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "service_quickstart.py", ["36", "6"])
+    assert "service listening on" in output
+    assert "byte-identical to the batch report: 6/6" in output
+    assert "late correction applied" in output
+    assert "distance cache hit rate" in output
+
+
 def test_examples_directory_contains_expected_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {
@@ -72,4 +80,5 @@ def test_examples_directory_contains_expected_scripts():
         "distributed_tpch.py",
         "streaming_clean.py",
         "backends_tour.py",
+        "service_quickstart.py",
     } <= names

@@ -187,6 +187,32 @@ def test_empty_batch_is_a_cheap_noop(sample_table, sample_rules):
     assert engine.cleaned.equals(before)
 
 
+def test_empty_tick_on_an_empty_stream(sample_rules, sample_table):
+    # the service coalescer can tick a shard that has never seen data; the
+    # engine must treat that as a sound no-op, not a degenerate state
+    engine = StreamingMLNClean(sample_rules, sample_table.attributes)
+    report = engine.apply_batch(DeltaBatch())
+    assert report.sequence == 0 and report.tuples_total == 0
+    assert report.delta_counts == {"inserts": 0, "updates": 0, "deletes": 0}
+    assert len(engine.cleaned) == 0
+    assert engine.batches_applied == 1
+
+
+def test_delete_of_unknown_key_is_rejected_before_mutation(sample_table, sample_rules):
+    engine = StreamingMLNClean(sample_rules, sample_table.attributes)
+    # on a virgin stream…
+    with pytest.raises(KeyError, match="42"):
+        engine.apply_batch(DeltaBatch([Delete(42)]))
+    assert engine.batches_applied == 0 and len(engine.dirty) == 0
+    # …and after data arrived, mixed into an otherwise valid batch
+    engine.apply_batch(DeltaBatch.from_table(sample_table))
+    snapshot = engine.dirty.copy()
+    row = sample_table.row(0).as_dict()
+    with pytest.raises(KeyError, match="42"):
+        engine.apply_batch(DeltaBatch([Insert(row), Delete(42)]))
+    assert engine.dirty.equals(snapshot)
+
+
 # ----------------------------------------------------------------------
 # batch validation
 # ----------------------------------------------------------------------
@@ -253,6 +279,62 @@ def test_window_validation():
         TumblingWindow(0)
     with pytest.raises(ValueError):
         SlidingWindow(-1)
+
+
+def test_window_that_evicts_everything_mid_stream(sample_table, sample_rules):
+    """A shard whose window expires every retained tuple keeps working."""
+    config = MLNCleanConfig(abnormal_threshold=1)
+    engine = StreamingMLNClean(
+        sample_rules,
+        sample_table.attributes,
+        config=config,
+        window=TumblingWindow(size=3),
+    )
+    first = engine.apply_batch(DeltaBatch.from_table(sample_table, tids=[0, 1, 2]))
+    assert first.evicted_tids == []
+    # the next span opens: the whole previous span leaves the window
+    second = engine.apply_batch(DeltaBatch.from_table(sample_table, tids=[3, 4, 5]))
+    assert sorted(second.evicted_tids) == [0, 1, 2]
+    # user deletes now empty the stream entirely, mid-stream
+    emptied = engine.apply_batch(DeltaBatch([Delete(3), Delete(4), Delete(5)]))
+    assert emptied.tuples_total == 0
+    assert len(engine.dirty) == 0 and len(engine.cleaned) == 0
+    # an empty tick on the emptied stream is still a sound no-op
+    engine.apply_batch(DeltaBatch())
+    # and the stream recovers: new arrivals clean exactly like a batch run
+    engine.apply_batch(DeltaBatch.from_table(sample_table, tids=[0, 1]))
+    reference = MLNClean(config).clean(engine.dirty.copy(), sample_rules)
+    assert engine.cleaned.equals(reference.cleaned)
+
+
+def test_delta_json_codec_round_trip(sample_table):
+    from repro.streaming import delta_from_json_dict, delta_to_json_dict
+
+    batch = DeltaBatch(
+        [
+            Insert(values=sample_table.row(0).as_dict()),
+            Insert(values=sample_table.row(1).as_dict(), tid=9),
+            Update(3, {"CT": "DOTHAN"}),
+            Delete(5),
+        ]
+    )
+    encoded = batch.to_json_list()
+    assert [e["op"] for e in encoded] == ["insert", "insert", "update", "delete"]
+    assert "tid" not in encoded[0] and encoded[1]["tid"] == 9
+    decoded = DeltaBatch.from_json_list(encoded)
+    assert decoded.to_json_list() == encoded
+    assert decoded.counts() == batch.counts()
+    for bad in (
+        {"op": "teleport"},
+        {"op": "insert"},
+        {"op": "update", "tid": 1},
+        {"op": "delete"},
+        "not-an-object",
+    ):
+        with pytest.raises(ValueError):
+            delta_from_json_dict(bad)
+    with pytest.raises(TypeError):
+        delta_to_json_dict("nope")  # type: ignore[arg-type]
 
 
 def test_engine_evicts_expired_tuples_through_delta_path():
