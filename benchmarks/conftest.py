@@ -11,9 +11,11 @@ scale them up.
 
 Alongside the rendered ``results/*.txt`` tables, the suite writes
 ``results/BENCH_perf.json``: per-figure wall-clock, distance-call counts,
-raw metric evaluations and cache hit rate, measured by diffing the
-process-global :class:`repro.perf.DistanceStats` around each harness run.
-CI archives the file so the perf trajectory is tracked across PRs.
+raw metric evaluations, cache hit rate, and a per-stage wall-clock
+breakdown, measured by diffing the process-global
+:class:`repro.perf.DistanceStats` and the ``repro_stage_seconds_total``
+metric around each harness run.  CI archives the file so the perf
+trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import stage_seconds_snapshot
 from repro.perf import global_distance_stats
 
 #: rendered experiment tables are also written here so the figures/tables can
@@ -52,10 +55,12 @@ def bench_tuples(request) -> int:
 def run_and_report(benchmark, harness, **kwargs):
     """Run one experiment harness under pytest-benchmark and print its table."""
     stats_before = global_distance_stats()
+    stages_before = stage_seconds_snapshot()
     started = time.perf_counter()
     result = benchmark.pedantic(lambda: harness(**kwargs), rounds=1, iterations=1)
     wall_seconds = time.perf_counter() - started
     delta = global_distance_stats().diff(stats_before)
+    stages_after = stage_seconds_snapshot()
     _PERF_RECORDS[result.experiment] = {
         "wall_seconds": round(wall_seconds, 4),
         "distance_calls": delta.calls,
@@ -65,6 +70,13 @@ def run_and_report(benchmark, harness, **kwargs):
         "length_prunes": delta.length_prunes,
         "band_prunes": delta.band_prunes,
         "value_short_circuits": delta.value_short_circuits,
+        # per-stage wall-clock attributed by the repro_stage_seconds_total
+        # counter ("<backend>.<stage>" keys), diffed around the harness run
+        "stage_seconds": {
+            key: round(seconds - stages_before.get(key, 0.0), 4)
+            for key, seconds in sorted(stages_after.items())
+            if seconds - stages_before.get(key, 0.0) > 0.0
+        },
     }
     rendered = result.render()
     print()

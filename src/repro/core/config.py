@@ -14,12 +14,19 @@ Every parameter the paper varies in its experiments is exposed here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.distance.base import DistanceMetric, get_metric
 from repro.mln.weights import WeightLearningConfig
 from repro.perf.engine import DistanceEngine
+
+#: config fields that are observability-only: they cannot change any cleaning
+#: decision, so they are excluded from :meth:`MLNCleanConfig.identity_dict`
+#: (and therefore from session fingerprints and service shard routing) —
+#: tracing a run on or off must never change where it executes or what it
+#: produces
+OBSERVABILITY_FIELDS = ("trace",)
 
 
 @dataclass
@@ -51,6 +58,12 @@ class MLNCleanConfig:
     #: flush-on-full bound for the pair cache (``None`` = unbounded); a full
     #: cache is cleared wholesale rather than evicted entry-wise
     distance_cache_entries: Optional[int] = None
+    #: opt-in observability: run under a fresh :class:`repro.obs.Tracer`
+    #: even when the caller activated none (an already-ambient tracer is
+    #: reused).  Purely observational — listed in
+    #: :data:`OBSERVABILITY_FIELDS`, so fingerprints, shard routing and
+    #: report signatures are byte-identical with tracing on or off.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.abnormal_threshold < 0:
@@ -63,6 +76,18 @@ class MLNCleanConfig:
             raise ValueError("distance_cache_entries must be >= 1 (or None)")
         # Fail fast on unknown metric names instead of deep inside Stage I.
         get_metric(self.distance_metric)
+
+    def identity_dict(self) -> dict:
+        """``asdict()`` minus the observability-only fields.
+
+        The payload every identity hash uses — session fingerprints, the
+        service's shard routing memo — so turning tracing on or off never
+        moves a request to a different shard or changes any fingerprint.
+        """
+        payload = asdict(self)
+        for name in OBSERVABILITY_FIELDS:
+            payload.pop(name, None)
+        return payload
 
     def metric(self) -> DistanceMetric:
         """Instantiate the configured distance metric."""

@@ -40,6 +40,7 @@ from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import evaluate_repair
 from repro.metrics.timing import PerfDetails, TimingBreakdown
+from repro.obs import ensure_tracer, span, stage_scope
 
 
 class MLNClean:
@@ -111,15 +112,24 @@ class MLNClean:
             context.clean_lookup = clean_lookup
             context.dirty_cells = ground_truth.dirty_cells
 
-        # Pre-processing: MLN index construction (lines 1-13 of Algorithm 1).
-        with timings.time("index"):
-            index = MLNIndex.build(dirty, rules)
-            context.blocks = index.block_list
+        with ensure_tracer(self.config.trace), span(
+            "pipeline.clean",
+            backend="batch",
+            tuples=len(dirty),
+            rules=len(rules),
+            parallelism=self.parallelism,
+        ):
+            # Pre-processing: MLN index construction (lines 1-13 of Alg. 1).
+            with stage_scope(timings, "batch", "index") as index_span:
+                index = MLNIndex.build(dirty, rules)
+                context.blocks = index.block_list
+                index_span.set(blocks=len(context.blocks))
 
-        # The stage sequence (Stage I lines 14-17, Stage II line 18 + dedup).
-        for stage in self._build_stage_sequence():
-            with timings.time(stage.name):
-                stage.run(context)
+            # The stage sequence (Stage I lines 14-17, Stage II line 18 +
+            # dedup).
+            for stage in self._build_stage_sequence():
+                with stage_scope(timings, "batch", stage.name):
+                    stage.run(context)
 
         repaired = context.repaired if context.repaired is not None else dirty.copy(
             name=f"{dirty.name}-repaired"

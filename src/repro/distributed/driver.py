@@ -40,6 +40,7 @@ from repro.distributed.weights import GammaKey, GlobalWeightStore, fuse_weights
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
 from repro.metrics.timing import TimingBreakdown
+from repro.obs import ensure_tracer, span, stage_scope
 from repro.perf.engine import DistanceEngine
 
 
@@ -194,6 +195,17 @@ class DistributedMLNClean:
         """Run the distributed pipeline on ``dirty``."""
         if not rules:
             raise ValueError("distributed MLNClean needs at least one rule")
+        with ensure_tracer(self.config.trace), span(
+            "driver.clean", workers=self.workers, tuples=len(dirty)
+        ):
+            return self._clean(dirty, rules, ground_truth)
+
+    def _clean(
+        self,
+        dirty: Table,
+        rules: Sequence[Rule],
+        ground_truth: Optional[GroundTruth],
+    ) -> DistributedReport:
         driver_timings = TimingBreakdown()
         cluster = SimulatedCluster(self.workers)
         # One engine for the whole run: the simulated workers execute
@@ -204,32 +216,38 @@ class DistributedMLNClean:
             dirty, rules, engine
         )
 
-        with driver_timings.time("partition"):
+        with stage_scope(driver_timings, "distributed", "partition"):
             partition = partitioner.partition(dirty)
             part_tables = partition.tables(dirty)
 
-        learn_results = cluster.map(
-            "learn",
-            lambda part: self._learn_phase(part[0], part[1], rules, engine),
-            list(enumerate(part_tables)),
-        )
+        # The worker phases do not contribute to driver_timings: the report
+        # accounts them through the cluster's makespan (one "workers" phase),
+        # so adding them here would double-count the simulated runtime.  They
+        # still get spans — one per phase, one per partition.
+        with span("phase:learn", partitions=len(part_tables)):
+            learn_results = cluster.map(
+                "learn",
+                lambda part: self._learn_phase(part[0], part[1], rules, engine),
+                list(enumerate(part_tables)),
+            )
         learn_outputs = [result.value for result in learn_results]
 
-        with driver_timings.time("weight_fusion"):
+        with stage_scope(driver_timings, "distributed", "weight_fusion"):
             store = fuse_weights(output.local_weights for output in learn_outputs)
 
-        clean_results = cluster.map(
-            "clean",
-            lambda output: self._clean_phase(output, store, engine),
-            learn_outputs,
-        )
+        with span("phase:clean", partitions=len(learn_outputs)):
+            clean_results = cluster.map(
+                "clean",
+                lambda output: self._clean_phase(output, store, engine),
+                learn_outputs,
+            )
         clean_outputs = [result.value for result in clean_results]
 
         # Gather: the per-part data versions are combined and the conflicts
         # among them are eliminated "in the same way to stand-alone MLNClean"
         # (Section 6), i.e. FSCR runs over all blocks with a global candidate
         # pool, followed by global duplicate elimination.
-        with driver_timings.time("gather"):
+        with stage_scope(driver_timings, "distributed", "gather"):
             all_blocks = [
                 block for output in clean_outputs for block in output.blocks
             ]
@@ -311,22 +329,29 @@ class DistributedMLNClean:
         Without this adaptation a τ tuned for the full HAI dataset would
         declare most partition-level groups abnormal.
         """
-        index = MLNIndex.build(part, rules)
-        partition_threshold = max(1, self.config.abnormal_threshold // self.workers)
-        partition_config = self.config.with_threshold(partition_threshold)
-        agp = AbnormalGroupProcessor(partition_config, engine=engine)
-        agp_outcome = agp.process_index(index.block_list)
-        rsc = ReliabilityScoreCleaner(self.config, engine=engine)
-        local_weights: dict[GammaKey, tuple[int, float]] = {}
-        for block in index.block_list:
-            rsc.learn_block_weights(block)
-            for piece in block.pieces:
-                key: GammaKey = (block.name, piece.reason_values, piece.result_values)
-                support, weight = local_weights.get(key, (0, 0.0))
-                local_weights[key] = (support + piece.support, piece.weight)
-        return _LearnPhaseOutput(
-            part_index, index.block_list, local_weights, agp=agp_outcome
-        )
+        with span("worker.learn", partition=part_index, tuples=len(part)):
+            index = MLNIndex.build(part, rules)
+            partition_threshold = max(
+                1, self.config.abnormal_threshold // self.workers
+            )
+            partition_config = self.config.with_threshold(partition_threshold)
+            agp = AbnormalGroupProcessor(partition_config, engine=engine)
+            agp_outcome = agp.process_index(index.block_list)
+            rsc = ReliabilityScoreCleaner(self.config, engine=engine)
+            local_weights: dict[GammaKey, tuple[int, float]] = {}
+            for block in index.block_list:
+                rsc.learn_block_weights(block)
+                for piece in block.pieces:
+                    key: GammaKey = (
+                        block.name,
+                        piece.reason_values,
+                        piece.result_values,
+                    )
+                    support, weight = local_weights.get(key, (0, 0.0))
+                    local_weights[key] = (support + piece.support, piece.weight)
+            return _LearnPhaseOutput(
+                part_index, index.block_list, local_weights, agp=agp_outcome
+            )
 
     def _clean_phase(
         self,
@@ -335,11 +360,18 @@ class DistributedMLNClean:
         engine: Optional[DistanceEngine] = None,
     ) -> _CleanPhaseOutput:
         """RSC with the Eq.-6 global weights on one part's blocks."""
-        blocks = learn_output.blocks
-        for block in blocks:
-            for piece in block.pieces:
-                key: GammaKey = (block.name, piece.reason_values, piece.result_values)
-                piece.weight = store.weight(key)
-        rsc = ReliabilityScoreCleaner(self.config, engine=engine)
-        rsc_outcome = rsc.clean_index(blocks, relearn_weights=False)
-        return _CleanPhaseOutput(learn_output.part_index, blocks, rsc=rsc_outcome)
+        with span("worker.clean", partition=learn_output.part_index):
+            blocks = learn_output.blocks
+            for block in blocks:
+                for piece in block.pieces:
+                    key: GammaKey = (
+                        block.name,
+                        piece.reason_values,
+                        piece.result_values,
+                    )
+                    piece.weight = store.weight(key)
+            rsc = ReliabilityScoreCleaner(self.config, engine=engine)
+            rsc_outcome = rsc.clean_index(blocks, relearn_weights=False)
+            return _CleanPhaseOutput(
+                learn_output.part_index, blocks, rsc=rsc_outcome
+            )

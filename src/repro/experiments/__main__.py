@@ -65,7 +65,23 @@ def cmd_run(args) -> int:
         spec = replace(spec, tuples=args.tuples)
     if args.seed is not None:
         spec = replace(spec, seed=args.seed)
-    artifact = ExperimentRunner(spec).run()
+    runner = ExperimentRunner(spec)
+    if args.trace:
+        from repro.obs import Tracer, to_chrome, use_tracer
+
+        tracer = Tracer(max_spans=1_000_000)
+        with use_tracer(tracer):
+            artifact = runner.run()
+        trace_path = Path(args.trace)
+        trace_path.write_text(
+            json.dumps(to_chrome(tracer.finished())), encoding="utf-8"
+        )
+        print(
+            f"trace written to {trace_path} "
+            f"({len(tracer.finished())} spans; open in chrome://tracing)"
+        )
+    else:
+        artifact = runner.run()
     if args.out:
         path = artifact.save(args.out)
         print(f"artifact written to {path} ({len(artifact.cells)} cells)")
@@ -126,6 +142,12 @@ def main(argv=None) -> int:
     run.add_argument("--out", default=None, help="write the artifact JSON here")
     run.add_argument(
         "--render", action="store_true", help="also print the rendered table"
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT_JSON",
+        help="trace every cell and write one Chrome trace_event JSON here",
     )
 
     render = commands.add_parser(

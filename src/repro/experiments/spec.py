@@ -290,6 +290,9 @@ class RunArtifact:
 
     spec: ExperimentSpec
     cells: list[CellResult] = field(default_factory=list)
+    #: optional :meth:`repro.obs.MetricsRegistry.snapshot` taken after the
+    #: run (cumulative process counters — observational, not a metric cell)
+    metrics_snapshot: Optional[dict] = None
 
     def metric_keys(self) -> list[str]:
         """Sorted union of metric keys across all cells (the CI schema)."""
@@ -299,16 +302,20 @@ class RunArtifact:
         return sorted(keys)
 
     def to_json_dict(self) -> dict:
-        return {
+        payload = {
             "spec": self.spec.to_json_dict(),
             "cells": [cell.to_json_dict() for cell in self.cells],
         }
+        if self.metrics_snapshot is not None:
+            payload["metrics_snapshot"] = self.metrics_snapshot
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "RunArtifact":
         return cls(
             spec=ExperimentSpec.from_json_dict(data["spec"]),
             cells=[CellResult.from_json_dict(cell) for cell in data["cells"]],
+            metrics_snapshot=data.get("metrics_snapshot"),
         )
 
     def to_json(self) -> str:
@@ -367,7 +374,11 @@ class ExperimentRunner:
                                     instance,
                                 )
                             )
-        return RunArtifact(spec=spec, cells=cells)
+        from repro.obs import get_registry
+
+        return RunArtifact(
+            spec=spec, cells=cells, metrics_snapshot=get_registry().snapshot()
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -413,6 +424,12 @@ class ExperimentRunner:
             "distance_calls": delta.calls,
             "raw_evaluations": delta.raw_evaluations,
             "cache_hit_rate": round(delta.hit_rate, 4),
+            # per-stage wall-clock from the run's own TimingBreakdown, so
+            # artifacts carry the stage split without re-deriving it
+            "stages": {
+                phase: round(seconds, 4)
+                for phase, seconds in report.timings.as_dict().items()
+            },
         }
         return CellResult(
             coords=coords,

@@ -1,0 +1,417 @@
+"""A small metrics registry (the metrics half of :mod:`repro.obs`).
+
+Three instrument kinds — :class:`Counter` (monotone), :class:`Gauge`
+(settable), :class:`Histogram` (fixed bucket boundaries) — with label
+support, collected in a :class:`MetricsRegistry` that renders both the
+Prometheus text exposition format (what the service's ``GET /metrics``
+serves) and a JSON snapshot (what reports and benchmark records embed).
+
+Instruments are get-or-create by name: registering the same (name, kind,
+labels) twice returns the existing instrument, so library code can declare
+its metrics at import time while services re-instantiate freely.  For
+values that live elsewhere (the process-global distance counters, a
+:class:`~repro.perf.stats.LatencyWindow`), *collectors* — callables invoked
+at scrape time — absorb the existing accumulators as registered instruments
+without double-keeping state.
+
+Everything is thread-safe: instruments take a per-instrument lock on
+update, the registry locks its tables on registration and render.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable, Optional, Sequence
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram boundaries, tuned for sub-second cleaning latencies
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(labelnames: Sequence[str]) -> tuple:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+def _escape_label_value(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: dict) -> str:
+    """``{a="x",b="y"}`` (empty string for no labels), keys in label order."""
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Child:
+    """One labelled series of an instrument."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+
+class _CounterChild(_Child):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class _GaugeChild(_Child):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple) -> None:
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # one overflow bucket (+Inf)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
+
+    def summary(self) -> dict:
+        """JSON view: count, sum, mean and cumulative bucket counts."""
+        with self._lock:
+            counts = list(self.counts)
+            total, count = self.sum, self.count
+        cumulative, running = {}, 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            cumulative[_format_value(float(bound))] = running
+        cumulative["+Inf"] = running + counts[-1]
+        return {
+            "count": count,
+            "sum": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "buckets": cumulative,
+        }
+
+
+class Instrument:
+    """Base of the three instrument kinds: name, help, label fan-out."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = _check_labels(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict = {}
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child series for one label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+        return child
+
+    def _default(self):
+        """The unlabelled series (only for instruments declared label-free)."""
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} is labelled {self.labelnames}; "
+                f"use .labels(...)"
+            )
+        return self.labels()
+
+    def samples(self) -> "list[tuple[dict, object]]":
+        """``(labels_dict, child)`` pairs, in creation order."""
+        with self._lock:
+            items = list(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), child) for key, child in items
+        ]
+
+
+class Counter(Instrument):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+
+class Gauge(Instrument):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+
+class Histogram(Instrument):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(later <= earlier for later, earlier in zip(bounds[1:], bounds)):
+            raise ValueError("histogram buckets must be non-empty and increasing")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+
+#: what a collector returns: families of already-measured samples.
+#: Each family is ``{"name", "type" ("counter"|"gauge"), "help",
+#: "samples": [(labels_dict, value), ...]}``.
+Collector = Callable[[], Iterable[dict]]
+
+
+class MetricsRegistry:
+    """Holds instruments and collectors; renders Prometheus text and JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "dict[str, Instrument]" = {}
+        self._collectors: "list[Collector]" = []
+
+    # ------------------------------------------------------------------
+    # registration (get-or-create)
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **extra):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            instrument = cls(name, help, labelnames, **extra)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        instrument = self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+        if instrument.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} is already registered with buckets "
+                f"{instrument.buckets}"
+            )
+        return instrument
+
+    def register_collector(self, collector: Collector) -> Collector:
+        """Add a scrape-time value source (e.g. an existing accumulator)."""
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+        return collector
+
+    def instrument(self, name: str) -> Optional[Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _families(self) -> "list[dict]":
+        """Instrument state plus collector output, normalised to families."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        families = []
+        for instrument in instruments:
+            samples = [
+                (labels, child) for labels, child in instrument.samples()
+            ]
+            families.append(
+                {
+                    "name": instrument.name,
+                    "type": instrument.kind,
+                    "help": instrument.help,
+                    "samples": samples,
+                }
+            )
+        for collector in collectors:
+            for family in collector():
+                families.append(dict(family))
+        return families
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: "list[str]" = []
+        for family in self._families():
+            name, kind = family["name"], family["type"]
+            # the exposition format wants backslash and newline escaped in help
+            help_text = str(family["help"]).replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in family["samples"]:
+                if kind == "histogram":
+                    summary = value.summary()
+                    for bound, count in summary["buckets"].items():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = bound
+                        lines.append(
+                            f"{name}_bucket{format_labels(bucket_labels)} {count}"
+                        )
+                    lines.append(
+                        f"{name}_sum{format_labels(labels)} "
+                        f"{_format_value(summary['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{format_labels(labels)} {summary['count']}"
+                    )
+                else:
+                    raw = value.value if isinstance(value, _Child) else value
+                    lines.append(
+                        f"{name}{format_labels(labels)} {_format_value(raw)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict:
+        """JSON view: metric name → type/help/samples (histograms summarised)."""
+        out: dict = {}
+        for family in self._families():
+            samples = []
+            for labels, value in family["samples"]:
+                if family["type"] == "histogram":
+                    samples.append({"labels": labels, **value.summary()})
+                else:
+                    raw = value.value if isinstance(value, _Child) else value
+                    samples.append({"labels": labels, "value": raw})
+            out[family["name"]] = {
+                "type": family["type"],
+                "help": family["help"],
+                "samples": samples,
+            }
+        return out
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse the text exposition format back to ``{sample_line_name: value}``.
+
+    A deliberately strict mini-parser used by tests and the CI smoke gate:
+    raises ``ValueError`` on any line that is neither a comment nor a valid
+    ``name{labels} value`` sample.  Returns every sample keyed by its full
+    name-plus-labels string.
+    """
+    sample_re = re.compile(
+        r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+        r"(?P<labels>\{[^}]*\})?"
+        r" (?P<value>[^ ]+)$"
+    )
+    out: dict = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"not a Prometheus sample line: {line!r}")
+        value = match.group("value")
+        out[match.group("name") + (match.group("labels") or "")] = (
+            math.inf if value == "+Inf" else float(value)
+        )
+    return out

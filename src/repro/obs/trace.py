@@ -1,0 +1,469 @@
+"""A dependency-free span tracer (the tracing half of :mod:`repro.obs`).
+
+One :class:`Tracer` collects :class:`Span` records — named, attributed,
+parent-linked intervals — from every layer of a cleaning run: session,
+backend, pipeline stages, streaming ticks, distributed phases, service
+jobs.  Tracing is **opt-in and off-path by default**: the ambient tracer is
+a :class:`NullTracer` whose ``span()`` returns one reusable no-op context
+manager, so instrumented code pays a dictionary lookup and two no-op calls
+per span when nobody is tracing.
+
+Activation is scoped, not global::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        session.run()                       # every layer below records spans
+    print(render_tree(tracer.finished()))   # human tree
+    json.dumps(to_chrome(tracer.finished()))  # chrome://tracing / Perfetto
+
+Identifiers are **deterministic**: trace ids (``t1``, ``t2``, ...) and span
+ids (``s1``, ``s2``, ...) are per-tracer counters in creation order, so two
+identical runs produce identical span trees — which is what the
+span-tree-stability tests assert via :func:`name_tree`.  Wall-clock lives
+only in ``start``/``end`` (seconds since the tracer's epoch); the
+:func:`redacted_spans` export drops exactly those fields, leaving a
+byte-stable description of the run's structure.
+
+Cross-thread spans (the service executes cleaning work on a thread pool,
+where context variables do not propagate) are parented explicitly::
+
+    parent = tracer.begin("service.request", job="j000001")  # event loop
+    # ... on the worker thread:
+    with use_tracer(tracer), tracer.attach(parent):
+        with span("shard.clean"):                  # child of the request
+            ...
+    tracer.end(parent)                             # event loop, at finalize
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Optional
+
+
+class Span:
+    """One named, attributed interval of a trace.
+
+    ``start``/``end`` are seconds since the owning tracer's epoch (a
+    monotonic clock, not wall time); ``parent_id`` is ``None`` for roots.
+    A span that exited through an exception carries ``status="error"`` and
+    the formatted exception in ``error``.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "start",
+        "end",
+        "status",
+        "error",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        thread: int,
+        attrs: Optional[dict] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = dict(attrs or {})
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.thread = thread
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after the span started (chains)."""
+        self.attrs.update(attrs)
+        return self
+
+    def record_exception(self, exc: BaseException) -> None:
+        self.status = "error"
+        self.error = f"{type(exc).__name__}: {exc}"
+
+    def as_dict(self) -> dict:
+        """JSON-safe record (wall-clock included; see :func:`redacted_spans`)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, trace={self.trace_id}, "
+            f"parent={self.parent_id}, status={self.status})"
+        )
+
+
+class _NullSpan:
+    """The reusable no-op stand-in the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, **_attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The ambient default: accepts every call, records nothing."""
+
+    tracing = False
+
+    def span(self, _name: str, **_attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def begin(self, _name: str, parent=None, **_attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, _span) -> None:
+        return None
+
+    @contextmanager
+    def attach(self, _span):
+        yield
+
+    def finished(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+#: the ambient tracer instrumented code reports to (defaults to the no-op)
+_ACTIVE_TRACER: "ContextVar" = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+#: the ambient parent span new spans nest under
+_ACTIVE_SPAN: "ContextVar[Optional[Span]]" = ContextVar("repro_obs_span", default=None)
+
+#: sentinel: "parent not given — use the ambient current span"
+_AMBIENT = object()
+
+
+class _SpanContext:
+    """Context-manager shell around one live span of a real tracer."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _ACTIVE_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if self._token is not None:
+            _ACTIVE_SPAN.reset(self._token)
+        if exc is not None:
+            self._span.record_exception(exc)
+        self._tracer.end(self._span)
+        return False
+
+
+class Tracer:
+    """Collects finished spans, thread-safely, with deterministic ids.
+
+    ``max_spans`` bounds memory: beyond it the oldest finished spans are
+    dropped (and counted in :attr:`dropped`) — a long-lived service exports
+    and pops per-job traces well before the bound matters.
+    """
+
+    def __init__(self, max_spans: int = 65536):
+        if max_spans < 1:
+            raise ValueError("the tracer needs max_spans >= 1")
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._finished: "list[Span]" = []
+        self._span_seq = 0
+        self._trace_seq = 0
+        #: small stable ids for the threads that produced spans (chrome tid)
+        self._thread_ids: "dict[int, int]" = {}
+
+    tracing = True
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """A context manager recording one span under the ambient parent."""
+        return _SpanContext(self, self.begin(name, **attrs))
+
+    def begin(self, name: str, parent=_AMBIENT, **attrs) -> Span:
+        """Start a span explicitly (no context manager; end with :meth:`end`).
+
+        ``parent`` may be a :class:`Span`, ``None`` (force a new root), or
+        omitted to nest under the ambient current span.  Roots start a new
+        trace id.
+        """
+        if parent is _AMBIENT:
+            parent = _ACTIVE_SPAN.get()
+        with self._lock:
+            self._span_seq += 1
+            span_id = f"s{self._span_seq}"
+            if parent is None:
+                self._trace_seq += 1
+                trace_id = f"t{self._trace_seq}"
+            else:
+                trace_id = parent.trace_id
+            thread = self._thread_ids.setdefault(
+                threading.get_ident(), len(self._thread_ids) + 1
+            )
+        return Span(
+            name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=time.perf_counter() - self._epoch,
+            thread=thread,
+            attrs=attrs,
+        )
+
+    def end(self, span: Span) -> None:
+        """Finish a span and file it (idempotent for already-ended spans)."""
+        if not isinstance(span, Span) or span.end is not None:
+            return
+        span.end = time.perf_counter() - self._epoch
+        with self._lock:
+            self._finished.append(span)
+            overflow = len(self._finished) - self.max_spans
+            if overflow > 0:
+                del self._finished[:overflow]
+                self.dropped += overflow
+
+    @contextmanager
+    def attach(self, span: Optional[Span]):
+        """Make ``span`` the ambient parent (cross-thread span stitching)."""
+        token = _ACTIVE_SPAN.set(span)
+        try:
+            yield span
+        finally:
+            _ACTIVE_SPAN.reset(token)
+
+    # ------------------------------------------------------------------
+    # harvesting
+    # ------------------------------------------------------------------
+    def finished(self) -> "list[Span]":
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def pop_trace(self, trace_id: str) -> "list[Span]":
+        """Remove and return every finished span of one trace (export+free)."""
+        with self._lock:
+            mine = [s for s in self._finished if s.trace_id == trace_id]
+            self._finished = [s for s in self._finished if s.trace_id != trace_id]
+        return mine
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished = []
+
+
+# ----------------------------------------------------------------------
+# ambient access
+# ----------------------------------------------------------------------
+def current_tracer():
+    """The ambient tracer (the shared :data:`NULL_TRACER` when inactive)."""
+    return _ACTIVE_TRACER.get()
+
+
+def tracing_active() -> bool:
+    """Whether a real tracer is ambient in this context."""
+    return _ACTIVE_TRACER.get() is not NULL_TRACER
+
+
+def span(name: str, **attrs):
+    """Record a span on the ambient tracer (no-op without one).
+
+    This is the one call instrumented code makes; it costs a context-variable
+    read and a no-op allocation-free context manager when tracing is off.
+    """
+    return _ACTIVE_TRACER.get().span(name, **attrs)
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Make ``tracer`` ambient for the dynamic extent of the block."""
+    tracer_token = _ACTIVE_TRACER.set(tracer)
+    span_token = _ACTIVE_SPAN.set(None)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_SPAN.reset(span_token)
+        _ACTIVE_TRACER.reset(tracer_token)
+
+
+@contextmanager
+def ensure_tracer(enabled: bool = True):
+    """Yield the ambient tracer, creating one when ``enabled`` asks for it.
+
+    The ``MLNCleanConfig.trace`` hook: a session/pipeline whose config opts
+    in runs under a fresh tracer even when the caller installed none; an
+    already-ambient tracer is reused (never shadowed), and with tracing
+    neither ambient nor requested the block runs untraced (yields ``None``).
+    """
+    current = _ACTIVE_TRACER.get()
+    if current is not NULL_TRACER:
+        yield current
+        return
+    if not enabled:
+        yield None
+        return
+    with use_tracer(Tracer()) as tracer:
+        yield tracer
+
+
+# ----------------------------------------------------------------------
+# exports
+# ----------------------------------------------------------------------
+#: span-record keys that carry wall-clock (what redaction removes)
+WALL_CLOCK_FIELDS = ("start", "end", "duration")
+
+
+def _span_order(span: Span) -> int:
+    """Creation order (span ids are sequential) — deterministic across runs."""
+    return int(span.span_id[1:])
+
+
+def redacted_spans(spans: "Iterable[Span]") -> "list[dict]":
+    """Deterministic span records: wall-clock fields removed, creation order.
+
+    Two runs of the same workload yield byte-identical redacted lists (ids
+    are per-tracer counters and attributes carry no clock values), which is
+    what keeps trace-carrying artifacts comparable across runs.
+    """
+    out = []
+    for item in sorted(spans, key=_span_order):
+        record = item.as_dict()
+        for key in WALL_CLOCK_FIELDS:
+            record.pop(key, None)
+        out.append(record)
+    return out
+
+
+def to_chrome(spans: "Iterable[Span]", redact: bool = False) -> dict:
+    """The spans as a Chrome ``trace_event`` JSON object.
+
+    Load the serialized dict in ``chrome://tracing`` or https://ui.perfetto.dev
+    — complete events (``ph="X"``) with microsecond timestamps, one chrome
+    "thread" per producing Python thread.  ``redact=True`` zeroes ``ts`` and
+    ``dur`` (structure-only export for byte-stable comparisons).
+    """
+    events = []
+    for item in sorted(spans, key=_span_order):
+        end = item.end if item.end is not None else item.start
+        args = {
+            "span_id": item.span_id,
+            "parent_id": item.parent_id,
+            "trace_id": item.trace_id,
+            "status": item.status,
+        }
+        if item.error is not None:
+            args["error"] = item.error
+        args.update(item.attrs)
+        events.append(
+            {
+                "name": item.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": 0 if redact else round(item.start * 1e6, 1),
+                "dur": 0 if redact else round((end - item.start) * 1e6, 1),
+                "pid": 1,
+                "tid": item.thread,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def name_tree(spans: "Iterable[Span]") -> "list":
+    """The trace structure as nested ``[name, [children...]]`` lists.
+
+    Strips ids, attributes and clocks — exactly what must be stable across
+    repeat runs of the same workload.
+    """
+    spans = sorted(spans, key=_span_order)
+    children: "dict[Optional[str], list[Span]]" = {}
+    for item in spans:
+        children.setdefault(item.parent_id, []).append(item)
+
+    def build(item: Span) -> list:
+        return [item.name, [build(child) for child in children.get(item.span_id, [])]]
+
+    return [build(root) for root in children.get(None, [])]
+
+
+def render_tree(spans: "Iterable[Span]", attrs: bool = True) -> str:
+    """A human box-drawing tree of the spans, one block per trace."""
+    spans = sorted(spans, key=_span_order)
+    children: "dict[Optional[str], list[Span]]" = {}
+    for item in spans:
+        children.setdefault(item.parent_id, []).append(item)
+    lines: "list[str]" = []
+
+    def describe(item: Span) -> str:
+        text = item.name
+        if item.duration is not None:
+            text += f" ({item.duration * 1e3:.1f}ms"
+            if attrs and item.attrs:
+                rendered = ", ".join(f"{k}={v}" for k, v in item.attrs.items())
+                text += f", {rendered}"
+            text += ")"
+        if item.status != "ok":
+            text += f" !{item.status}: {item.error}"
+        return text
+
+    def walk(item: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(item))
+            child_prefix = ""
+        else:
+            lines.append(prefix + ("└─ " if is_last else "├─ ") + describe(item))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(item.span_id, [])
+        for index, kid in enumerate(kids):
+            walk(kid, child_prefix, index == len(kids) - 1, False)
+
+    for root in children.get(None, []):
+        walk(root, "", True, True)
+    return "\n".join(lines)

@@ -24,14 +24,22 @@ bound).  Callers doing best-so-far searches therefore get bit-identical
 results to exhaustive evaluation: candidates at or below the running best are
 measured exactly (including ties), candidates that cannot win are skipped.
 
-Statistics are mirrored into a process-global accumulator so the benchmark
-suite can report distance-call counts and cache hit rates per figure without
-reaching into every engine instance (see :func:`global_distance_stats`).
+Statistics are strictly **engine-local** on the hot path: every counter
+increment touches only ``self.stats``, so concurrent engines (the service's
+shard executor threads) never interleave read-modify-write cycles on shared
+counters.  The process-wide view of :func:`global_distance_stats` is
+*derived* under a lock — the folded counters of retired engines plus the
+live counters of every engine still alive (a weakref registry folds an
+engine's stats in when it is garbage collected) — so the benchmark suite
+can still report distance-call counts and cache hit rates per figure
+without reaching into every engine instance.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+import weakref
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, fields
 from typing import Optional
@@ -91,6 +99,21 @@ class DistanceStats:
             )
         return merged
 
+    def iadd(self, other: "DistanceStats") -> "DistanceStats":
+        """In-place add (keeps the object identity the live registry holds)."""
+        for field in fields(DistanceStats):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    def zero(self) -> None:
+        """In-place reset of every counter."""
+        for field in fields(DistanceStats):
+            setattr(self, field.name, 0)
+
     def diff(self, earlier: "DistanceStats") -> "DistanceStats":
         """The counter deltas since an ``earlier`` snapshot."""
         delta = DistanceStats()
@@ -111,24 +134,77 @@ class DistanceStats:
         return out
 
 
-#: process-wide accumulator every engine mirrors its counters into
-_GLOBAL_STATS = DistanceStats()
+# ----------------------------------------------------------------------
+# the derived process-wide accumulator
+#
+# Engines only ever touch their own ``self.stats`` (single-threaded by
+# construction: one cleaning run / one shard uses one engine at a time), so
+# the hot path needs no lock and no shared writes.  The global view is
+# computed on demand under ``_ACCUM_LOCK``:
+#
+#     totals = retired + Σ(live engines) − reset offset
+#
+# where *retired* accumulates the stats of engines as they are garbage
+# collected (the weakref callback fires while holding nothing else) and the
+# *reset offset* is the snapshot taken by ``reset_global_distance_stats``
+# — counters stay monotone underneath, resets are a subtraction.
+# ----------------------------------------------------------------------
+_ACCUM_LOCK = threading.Lock()
+#: folded counters of engines that were garbage collected or reset
+_RETIRED = DistanceStats()
+#: snapshot subtracted from the raw totals (what "reset" means here)
+_RESET_OFFSET = DistanceStats()
+#: weakref(engine) → its (never rebound) stats object
+_LIVE: "dict[weakref.ref, DistanceStats]" = {}
+
+
+def _retire_engine(ref: "weakref.ref") -> None:
+    """Weakref callback: fold a dying engine's counters into the retired base.
+
+    Pops the registry entry and folds under one lock acquisition, so a
+    concurrent :func:`global_distance_stats` never sees the engine twice or
+    not at all.
+    """
+    with _ACCUM_LOCK:
+        stats = _LIVE.pop(ref, None)
+        if stats is not None:
+            _RETIRED.iadd(stats)
+
+
+def _register_engine(engine: "DistanceEngine") -> None:
+    with _ACCUM_LOCK:
+        _LIVE[weakref.ref(engine, _retire_engine)] = engine.stats
+
+
+def _raw_totals() -> DistanceStats:
+    """Retired + live counters; the caller holds ``_ACCUM_LOCK``."""
+    totals = _RETIRED.copy()
+    for stats in _LIVE.values():
+        totals.iadd(stats)
+    return totals
 
 
 def global_distance_stats() -> DistanceStats:
-    """A snapshot of the process-wide distance counters."""
-    return _GLOBAL_STATS.copy()
+    """A snapshot of the process-wide distance counters.
+
+    Derived from engine-local counters under a lock (see the module
+    docstring), so concurrent engines on different threads cannot lose
+    updates — each one increments only its own stats object.
+    """
+    with _ACCUM_LOCK:
+        return _raw_totals().diff(_RESET_OFFSET)
 
 
 def reset_global_distance_stats() -> None:
-    """Zero the process-wide counters (test/benchmark isolation).
+    """Zero the process-wide *view* (test/benchmark isolation).
 
-    Mutates the accumulator in place — the module references it directly, so
-    rebinding is unnecessary and mutation keeps the reset race-free with
-    engines created before the reset.
+    Implemented as an offset: the underlying per-engine counters keep
+    counting monotonically (live engines are not touched, so nothing races
+    with in-flight work); only the baseline the snapshot subtracts moves.
     """
-    for field in fields(DistanceStats):
-        setattr(_GLOBAL_STATS, field.name, 0)
+    with _ACCUM_LOCK:
+        _RESET_OFFSET.zero()
+        _RESET_OFFSET.iadd(_raw_totals())
 
 
 class DistanceEngine:
@@ -158,6 +234,9 @@ class DistanceEngine:
         #: (i.e. drop) exactly the cache entries of values that left the
         #: retained window
         self.track_values = track_values
+        #: engine-local counters.  Never rebound: the process-wide registry
+        #: holds this exact object, so replacing it would silently detach
+        #: the engine from :func:`global_distance_stats` (mutate in place).
         self.stats = DistanceStats()
         self._exact: dict = {}
         self._lower: dict = {}
@@ -166,6 +245,7 @@ class DistanceEngine:
         self._pairs_by_value: dict = {}
         self._affix_safe = bool(getattr(metric, "affix_safe", False))
         self._banded = bool(getattr(metric, "supports_banded", False))
+        _register_engine(self)
 
     @classmethod
     def from_config(cls, config, track_values: bool = False) -> "DistanceEngine":
@@ -215,7 +295,6 @@ class DistanceEngine:
             self._lower.clear()
             self._pairs_by_value.clear()
             self.stats.cache_evictions += 1
-            _GLOBAL_STATS.cache_evictions += 1
 
     def _store_exact(self, key, value: float) -> None:
         self._flush_if_full()
@@ -272,7 +351,6 @@ class DistanceEngine:
                 if key in self._exact:
                     del self._exact[key]
                     self.stats.invalidated_pairs += 1
-                    _GLOBAL_STATS.invalidated_pairs += 1
                 self._lower.pop(key, None)
                 partner = key[1] if key[0] is value else key[0]
                 partner_pairs = self._pairs_by_value.get(partner)
@@ -285,10 +363,8 @@ class DistanceEngine:
     def distance(self, left: str, right: str) -> float:
         """Exact distance, served from the cache when possible."""
         self.stats.calls += 1
-        _GLOBAL_STATS.calls += 1
         if left == right:
             self.stats.trivial += 1
-            _GLOBAL_STATS.trivial += 1
             return 0.0
         if not self.cache_enabled:
             return self._compute(left, right)
@@ -296,7 +372,6 @@ class DistanceEngine:
         cached = self._exact.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
-            _GLOBAL_STATS.cache_hits += 1
             return cached
         result = self._compute(left, right)
         self._store_exact(key, result)
@@ -309,10 +384,8 @@ class DistanceEngine:
             trivial = trivial_edit_distance(left, right)
             if trivial is not None:
                 self.stats.trivial += 1
-                _GLOBAL_STATS.trivial += 1
                 return trivial
         self.stats.raw_evaluations += 1
-        _GLOBAL_STATS.raw_evaluations += 1
         return self.metric.distance(left, right)
 
     def bounded_distance(self, left: str, right: str, cutoff: float) -> float:
@@ -325,10 +398,8 @@ class DistanceEngine:
         if cutoff == math.inf:
             return self.distance(left, right)
         self.stats.calls += 1
-        _GLOBAL_STATS.calls += 1
         if left == right:
             self.stats.trivial += 1
-            _GLOBAL_STATS.trivial += 1
             return 0.0
         key = None
         if self.cache_enabled:
@@ -336,28 +407,23 @@ class DistanceEngine:
             cached = self._exact.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
-                _GLOBAL_STATS.cache_hits += 1
                 return cached
             bound = self._lower.get(key)
             if bound is not None and bound > cutoff:
                 self.stats.lower_bound_hits += 1
                 self.stats.cache_hits += 1
-                _GLOBAL_STATS.lower_bound_hits += 1
-                _GLOBAL_STATS.cache_hits += 1
                 return bound
         if self._affix_safe:
             stripped_left, stripped_right = strip_common_affixes(left, right)
             trivial = trivial_edit_distance(stripped_left, stripped_right)
             if trivial is not None:
                 self.stats.trivial += 1
-                _GLOBAL_STATS.trivial += 1
                 if key is not None:
                     self._store_exact(key, trivial)
                 return trivial
             length_gap = abs(len(stripped_left) - len(stripped_right))
             if length_gap > cutoff:
                 self.stats.length_prunes += 1
-                _GLOBAL_STATS.length_prunes += 1
                 if key is not None:
                     self._store_lower(key, float(length_gap))
                 return float(length_gap)
@@ -368,12 +434,10 @@ class DistanceEngine:
                 )
                 if exact:
                     self.stats.raw_evaluations += 1
-                    _GLOBAL_STATS.raw_evaluations += 1
                     if key is not None:
                         self._store_exact(key, value)
                     return value
                 self.stats.band_prunes += 1
-                _GLOBAL_STATS.band_prunes += 1
                 if key is not None:
                     self._store_lower(key, value)
                 return value
@@ -404,7 +468,6 @@ class DistanceEngine:
         if len(left) != len(right):
             raise ValueError("value tuples must have the same length")
         self.stats.value_calls += 1
-        _GLOBAL_STATS.value_calls += 1
         if cutoff is None or cutoff == math.inf:
             total = 0.0
             for left_value, right_value in zip(left, right):
@@ -417,7 +480,6 @@ class DistanceEngine:
             if total > cutoff:
                 if position < last:
                     self.stats.value_short_circuits += 1
-                    _GLOBAL_STATS.value_short_circuits += 1
                 return total
         return total
 
@@ -428,24 +490,26 @@ class DistanceEngine:
         """Fold counters measured elsewhere (e.g. a worker process) in.
 
         Worker processes keep their own engines; their counters are shipped
-        back with the results and folded into the driver's engine — and into
-        the process-global accumulator, which never saw the forked work.
-        Pass ``mirror_global=False`` when the counters were produced in *this*
-        process (the in-process fallback of the parallel path), where the
-        producing engine already mirrored them.
+        back with the results and folded into the driver's engine — which is
+        all it takes for :func:`global_distance_stats` to see the forked
+        work, because the global view is derived from engine-local counters.
+        ``mirror_global`` is kept for API compatibility; the in-process
+        fallback of the parallel path passes ``False`` together with empty
+        stats objects (its counters already live in this engine), so the
+        fold is a no-op there either way.
         """
-        self.stats = self.stats.merge(stats)
-        if not mirror_global:
-            return
-        for field in fields(DistanceStats):
-            setattr(
-                _GLOBAL_STATS,
-                field.name,
-                getattr(_GLOBAL_STATS, field.name) + getattr(stats, field.name),
-            )
+        del mirror_global  # the derived global view makes the flag moot
+        self.stats.iadd(stats)
 
     def reset_stats(self) -> None:
-        self.stats = DistanceStats()
+        """Zero the engine-local counters, preserving the global totals.
+
+        The counters are folded into the retired base first, so the derived
+        :func:`global_distance_stats` stays monotone across engine resets.
+        """
+        with _ACCUM_LOCK:
+            _RETIRED.iadd(self.stats)
+            self.stats.zero()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

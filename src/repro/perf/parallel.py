@@ -26,6 +26,7 @@ from repro.core.agp import AbnormalGroupProcessor, AGPOutcome
 from repro.core.config import MLNCleanConfig
 from repro.core.index import Block
 from repro.core.rsc import ReliabilityScoreCleaner, RSCOutcome
+from repro.obs import span
 from repro.perf.engine import DistanceEngine, DistanceStats
 
 #: tid → attribute → clean value; the picklable stand-in for the
@@ -139,13 +140,23 @@ class ParallelStageOne:
             clean_values = {
                 tid: context.clean_lookup(tid) for tid in context.dirty.tids
             }
-        results, pooled = clean_blocks_parallel(
-            context.blocks,
-            self.config,
-            clean_values,
-            self.parallelism,
-            engine=context.engine,
-        )
+        # One driver-side span for the whole fan-out.  Fork-pool workers run
+        # without a tracer (contextvars do not survive the fork, and spans
+        # could not be shipped back affordably); the driver span records the
+        # fan-out shape instead.
+        with span(
+            "stage1.parallel",
+            blocks=len(context.blocks),
+            parallelism=self.parallelism,
+        ) as fan_span:
+            results, pooled = clean_blocks_parallel(
+                context.blocks,
+                self.config,
+                clean_values,
+                self.parallelism,
+                engine=context.engine,
+            )
+            fan_span.set(pooled=pooled)
         # Workers mutated pickled copies; adopt them in block order.
         context.blocks = [result.block for result in results]
         from repro.distributed.driver import merge_stage_outcomes

@@ -43,6 +43,12 @@ def main(argv=None) -> int:
     serve_cmd.add_argument(
         "--workers", type=int, default=4, help="cleaning executor threads"
     )
+    serve_cmd.add_argument(
+        "--trace-dir",
+        default=None,
+        help="trace every job; write one Chrome trace_event JSON per "
+        "finished job into this directory",
+    )
 
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
@@ -50,13 +56,15 @@ def main(argv=None) -> int:
         max_pending=args.max_pending,
         executor_workers=args.workers,
         default_seed=args.seed,
+        trace_dir=args.trace_dir,
     )
     logging.getLogger("repro.service").info(
-        "starting: host=%s port=%d max_pending=%d workers=%d",
+        "starting: host=%s port=%d max_pending=%d workers=%d trace_dir=%s",
         args.host,
         args.port,
         config.max_pending,
         config.executor_workers,
+        config.trace_dir,
     )
     try:
         asyncio.run(serve(args.host, args.port, config))

@@ -8,7 +8,9 @@ framework, no dependency — speaking JSON on five routes:
 * ``GET /jobs/<id>`` — poll a job,
 * ``GET /healthz``   — liveness,
 * ``GET /stats``     — queue depth, latency percentiles, per-shard
-  throughput, distance-cache counters.
+  throughput, distance-cache counters,
+* ``GET /metrics``   — the same signals in Prometheus text format
+  (service-scoped instruments plus the process-wide registry).
 
 Responses always carry ``Connection: close`` (one request per connection —
 clients are expected to be many and short-lived, and it keeps the parser
@@ -153,13 +155,20 @@ class ServiceHTTPServer:
     async def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload,
         extra_headers: Optional[dict] = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # dict payloads are JSON; str payloads (the /metrics exposition)
+        # go out as Prometheus text
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -177,6 +186,8 @@ class ServiceHTTPServer:
             return 200, self.service.healthz(), {}
         if path == "/stats" and method == "GET":
             return 200, self.service.stats(), {}
+        if path == "/metrics" and method == "GET":
+            return 200, self.service.metrics_text(), {}
         if path.startswith("/jobs/") and method == "GET":
             job = self.service.job(path[len("/jobs/"):])
             if job is None:

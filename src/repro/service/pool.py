@@ -25,11 +25,11 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.constraints.parser import rules_to_strings
-from repro.core.config import MLNCleanConfig
+from repro.core.config import OBSERVABILITY_FIELDS, MLNCleanConfig
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.service.codec import (
@@ -288,8 +288,14 @@ def _route_memo_key(spec: Union[CleanRequestSpec, DeltaRequestSpec]) -> str:
         "workload": spec.workload.lower() if spec.workload else None,
         "cleaner": spec.cleaner.lower(),
         "options": getattr(spec, "options", {}) or {},
-        "config_overrides": spec.config_overrides,
-        "config": asdict(spec.config) if spec.config is not None else None,
+        # observability-only knobs (config.trace) are output-invariant, so
+        # requests differing only there share a shard (and its warm caches)
+        "config_overrides": {
+            key: value
+            for key, value in (spec.config_overrides or {}).items()
+            if key not in OBSERVABILITY_FIELDS
+        },
+        "config": spec.config.identity_dict() if spec.config is not None else None,
         "stages": getattr(spec, "stages", None),
         "window": normalize_window_spec(getattr(spec, "window", None)),
         "rules": (

@@ -24,13 +24,24 @@ depth, per-shard throughput and the process-global
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
-from typing import Optional, Union
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.core.report import table_to_json_dict
+from repro.obs import (
+    REGISTRY,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    span,
+    to_chrome,
+    use_tracer,
+)
 from repro.perf import LatencyWindow, global_distance_stats
 from repro.service.coalescer import plan_tick
 from repro.service.codec import (
@@ -63,6 +74,12 @@ class ServiceConfig:
     #: server-side default for requests that omit their own ``seed``
     #: (the ``--seed`` flag of ``python -m repro.service serve``)
     default_seed: Optional[int] = None
+    #: trace every job (in memory; read back via ``CleaningService.tracer``)
+    trace: bool = False
+    #: directory receiving one Chrome ``trace_event`` JSON per finished job
+    #: (the ``--trace-dir`` flag of ``python -m repro.service serve``);
+    #: setting it implies ``trace``
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -93,6 +110,32 @@ class CleaningService:
         self._pending = 0
         self._started_at: Optional[float] = None
         self._running = False
+        #: service-scoped instruments (one registry per instance, so two
+        #: services in one process do not mix their job counters); the
+        #: process-wide :data:`repro.obs.REGISTRY` is appended at scrape time
+        self.metrics = MetricsRegistry()
+        self._jobs_total = self.metrics.counter(
+            "repro_service_jobs_total",
+            "finished service jobs by kind and terminal status",
+            ("kind", "status"),
+        )
+        self._job_seconds = self.metrics.histogram(
+            "repro_service_job_seconds",
+            "submit-to-finish latency of finished jobs, per shard",
+            ("shard",),
+        )
+        self._batch_sizes = self.metrics.histogram(
+            "repro_service_coalesced_batch_size",
+            "delta requests folded into one engine tick",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self.metrics.register_collector(self._runtime_families)
+        #: the per-service tracer (None when tracing is off)
+        self.tracer: Optional[Tracer] = (
+            Tracer() if (self.config.trace or self.config.trace_dir) else None
+        )
+        #: job id → open root span of that job's trace
+        self._job_spans: "dict[str, Span]" = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -128,6 +171,12 @@ class CleaningService:
         # so wait()-ers wake up instead of hanging until their timeout.
         for job in self.jobs.unfinished():
             job.fail("service stopped before the job finished")
+        if self.tracer is not None:
+            # close the root spans of jobs the shutdown orphaned so the
+            # tracer holds no forever-open spans across restarts
+            for root in self._job_spans.values():
+                self.tracer.end(root)
+            self._job_spans.clear()
         self._pending = 0
         # worker tasks are dead; a later start() must not route onto them
         self._runtimes.clear()
@@ -165,6 +214,16 @@ class CleaningService:
         runtime = self._runtime_for(shard)
         kind = "clean" if isinstance(spec, CleanRequestSpec) else "deltas"
         job = self.jobs.create(kind=kind, shard=shard.key.label)
+        if self.tracer is not None:
+            # the job's root span: opened at enqueue, closed at finalize, so
+            # the exported tree covers queueing, dispatch and execution
+            self._job_spans[job.id] = self.tracer.begin(
+                "service.request",
+                parent=None,
+                job=job.id,
+                kind=kind,
+                shard=shard.key.label,
+            )
         self._pending += 1
         runtime.queue.put_nowait((job, spec))
         return job
@@ -195,11 +254,15 @@ class CleaningService:
     def stats(self) -> dict:
         """The ``GET /stats`` payload: queue, latency, shards, cache counters."""
         shard_stats = self.pool.stats()
+        depths = self._queue_depths()
+        for entry in shard_stats:
+            entry["queue_depth"] = depths.get(entry["shard"], 0)
         return {
             **self.healthz(),
             "queue": {
                 "pending": self._pending,
                 "max_pending": self.config.max_pending,
+                "depth_per_shard": depths,
             },
             "jobs": self.jobs.counts(),
             "latency": self.latency.as_dict(),
@@ -208,10 +271,60 @@ class CleaningService:
                 "coalesced_requests": sum(
                     s["coalesced_requests"] for s in shard_stats
                 ),
+                "batch_size": self._batch_sizes._default().summary(),
             },
             "shards": shard_stats,
             "distance": global_distance_stats().as_dict(),
         }
+
+    def _queue_depths(self) -> dict:
+        """Shard label → jobs currently sitting in that shard's queue."""
+        return {
+            runtime.shard.key.label: runtime.queue.qsize()
+            for runtime in self._runtimes.values()
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: this service + the process registry."""
+        return self.metrics.render_prometheus() + REGISTRY.render_prometheus()
+
+    def _runtime_families(self) -> list:
+        """Scrape-time gauges over live service state (no double bookkeeping)."""
+        latency = self.latency.as_dict()
+        families = [
+            {
+                "name": "repro_service_uptime_seconds",
+                "type": "gauge",
+                "help": "seconds since the service started",
+                "samples": [({}, round(self.healthz()["uptime_s"], 3))],
+            },
+            {
+                "name": "repro_service_pending_jobs",
+                "type": "gauge",
+                "help": "jobs currently queued or running",
+                "samples": [({}, self._pending)],
+            },
+            {
+                "name": "repro_service_queue_depth",
+                "type": "gauge",
+                "help": "queued jobs per shard",
+                "samples": [
+                    ({"shard": label}, depth)
+                    for label, depth in self._queue_depths().items()
+                ],
+            },
+            {
+                "name": "repro_service_latency_window",
+                "type": "gauge",
+                "help": "sliding-window latency readout (count, p50_s, ...)",
+                "samples": [
+                    ({"stat": key}, value)
+                    for key, value in latency.items()
+                    if isinstance(value, (int, float))
+                ],
+            },
+        ]
+        return families
 
     # ------------------------------------------------------------------
     # shard workers
@@ -250,15 +363,39 @@ class CleaningService:
             for job, spec in clean_items:
                 await self._run_clean(runtime.shard, job, spec)
 
+    def _traced(
+        self, parent: Optional[Span], name: str, attrs: dict, fn: Callable
+    ) -> Callable:
+        """Wrap an executor callable in a span parented to the job's root.
+
+        Context variables do not propagate into executor threads, so the
+        service tracer and the root span are re-attached explicitly on the
+        thread before the work span opens.  Without a tracer the callable is
+        returned unwrapped (zero overhead on the hot path).
+        """
+        if self.tracer is None:
+            return fn
+
+        def run():
+            with use_tracer(self.tracer), self.tracer.attach(parent):
+                with span(name, **attrs):
+                    return fn()
+
+        return run
+
     async def _run_clean(
         self, shard: Shard, job: Job, spec: CleanRequestSpec
     ) -> None:
         job.mark_running()
         loop = asyncio.get_running_loop()
+        work = self._traced(
+            self._job_spans.get(job.id),
+            "shard.clean",
+            {"shard": shard.key.label},
+            partial(self._execute_clean, shard, spec),
+        )
         try:
-            result, report = await loop.run_in_executor(
-                self._executor, partial(self._execute_clean, shard, spec)
-            )
+            result, report = await loop.run_in_executor(self._executor, work)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.fail(f"{type(exc).__name__}: {exc}")
         else:
@@ -288,11 +425,28 @@ class CleaningService:
         specs = [spec for _job, spec in items]
         for job in jobs:
             job.mark_running()
+        self._batch_sizes.observe(len(specs))
+        # The coalesced tick executes once, under the *first* job's trace;
+        # every other folded job gets a marker span under its own root, so
+        # each job still yields one connected tree.
+        if self.tracer is not None:
+            for job in jobs[1:]:
+                marker = self.tracer.begin(
+                    "shard.tick",
+                    parent=self._job_spans.get(job.id),
+                    shard=shard.key.label,
+                    coalesced_into=jobs[0].id,
+                )
+                self.tracer.end(marker)
+        work = self._traced(
+            self._job_spans.get(jobs[0].id),
+            "shard.tick",
+            {"shard": shard.key.label, "requests": len(specs)},
+            partial(self._execute_tick, shard, specs),
+        )
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
-                self._executor, partial(self._execute_tick, shard, specs)
-            )
+            results = await loop.run_in_executor(self._executor, work)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             message = f"{type(exc).__name__}: {exc}"
             for job in jobs:
@@ -395,3 +549,22 @@ class CleaningService:
         self._pending -= 1
         if job.duration is not None:
             self.latency.record(job.duration)
+            self._job_seconds.labels(shard=job.shard).observe(job.duration)
+        self._jobs_total.labels(kind=job.kind, status=job.status.value).inc()
+        root = self._job_spans.pop(job.id, None)
+        if root is not None and self.tracer is not None:
+            root.set(job_status=job.status.value)
+            if job.error is not None:
+                root.status = "error"
+                root.error = job.error
+            self.tracer.end(root)
+            if self.config.trace_dir:
+                self._export_trace(job, root)
+
+    def _export_trace(self, job: Job, root: Span) -> None:
+        """Write (and free) one finished job's span tree as Chrome JSON."""
+        spans = self.tracer.pop_trace(root.trace_id)
+        directory = Path(self.config.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"trace-{job.id}.json"
+        path.write_text(json.dumps(to_chrome(spans)), encoding="utf-8")

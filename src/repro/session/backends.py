@@ -27,6 +27,7 @@ from repro.core.report import CleaningReport
 from repro.dataset.table import Table
 from repro.distributed.driver import DistributedMLNClean
 from repro.errors.groundtruth import GroundTruth
+from repro.obs import observe_run, span
 from repro.registry import Registry
 from repro.streaming.cleaner import StreamingMLNClean
 from repro.streaming.source import TableStreamSource
@@ -81,7 +82,12 @@ class BatchBackend:
         cleaner = MLNClean(
             request.config, stages=request.stages, parallelism=self.parallelism
         )
-        return cleaner.clean(request.dirty, request.rules, request.ground_truth)
+        with span("backend:batch", parallelism=self.parallelism):
+            report = cleaner.clean(
+                request.dirty, request.rules, request.ground_truth
+            )
+        observe_run(self.name)
+        return report
 
 
 class DistributedBackend:
@@ -99,7 +105,11 @@ class DistributedBackend:
                 "clean/gather sequence; custom stage orders are batch-only"
             )
         driver = DistributedMLNClean(workers=self.workers, config=request.config)
-        report = driver.clean(request.dirty, request.rules, request.ground_truth)
+        with span("backend:distributed", workers=self.workers):
+            report = driver.clean(
+                request.dirty, request.rules, request.ground_truth
+            )
+        observe_run(self.name)
         return report.as_cleaning_report()
 
 
@@ -142,8 +152,13 @@ class StreamingBackend:
         source = TableStreamSource(
             request.dirty, self.batch_size, request.ground_truth
         )
-        engine.consume(source)
+        with span(
+            "backend:streaming", batch_size=self.batch_size
+        ) as backend_span:
+            engine.consume(source)
+            backend_span.set(ticks=engine.batches_applied)
         self.engine = engine
+        observe_run(self.name)
         return engine.report()
 
 

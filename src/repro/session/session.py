@@ -24,7 +24,6 @@ sequence; the result is always the unified
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import re
@@ -39,6 +38,7 @@ from repro.core.report import CleaningReport
 from repro.dataset.io import read_csv
 from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
+from repro.obs import ensure_tracer, span
 from repro.session.backends import CleaningRequest, ExecutionBackend
 from repro.session.cleaners import (
     Cleaner,
@@ -368,6 +368,10 @@ class CleaningSession:
         self.ground_truth = ground_truth
         #: the report of the most recent run (None before the first run)
         self.last_report: Optional[CleaningReport] = None
+        #: the :class:`repro.obs.Tracer` the most recent run executed under
+        #: (None when tracing was off — ``config.trace`` and no ambient
+        #: tracer); its finished spans hold the run's full span tree
+        self.last_trace = None
 
     @property
     def backend(self) -> Optional[ExecutionBackend]:
@@ -402,7 +406,9 @@ class CleaningSession:
             "backend": backend.name if backend is not None else None,
             "stages": list(self.stages) if self.stages is not None else None,
             "rules": rules_to_strings(self.rules),
-            "config": dataclasses.asdict(self.config),
+            # identity_dict, not asdict: observability knobs (config.trace)
+            # must not move a session to a different fingerprint/shard
+            "config": self.config.identity_dict(),
             "window": _window_fingerprint(getattr(backend, "window", None)),
         }
         blob = json.dumps(payload, sort_keys=True, default=str)
@@ -468,7 +474,17 @@ class CleaningSession:
             ground_truth=truth,
             stages=list(self.stages) if self.stages is not None else None,
         )
-        self.last_report = self.cleaner.run(request)
+        backend = self.backend
+        with ensure_tracer(self.config.trace) as tracer:
+            self.last_trace = tracer
+            with span(
+                "session.run",
+                cleaner=self.cleaner.name,
+                backend=backend.name if backend is not None else None,
+                tuples=len(dirty),
+                rules=len(run_rules),
+            ):
+                self.last_report = self.cleaner.run(request)
         return self.last_report
 
     #: HoloClean-style alias: ``session.clean()`` == ``session.run()``

@@ -50,6 +50,7 @@ from repro.dataset.table import Table
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
 from repro.metrics.timing import TimingBreakdown
+from repro.obs import ensure_tracer, span, stage_scope
 from repro.streaming.delta import Delete, Delta, DeltaBatch, Insert, Update
 from repro.streaming.incremental_index import (
     DirtiedGroups,
@@ -225,42 +226,58 @@ class StreamingMLNClean:
         timings = report.timings
         dirtied: DirtiedGroups = {}
 
-        with timings.time("delta"):
-            inserted, updated, deleted = self._apply_deltas(batch, dirtied)
-            report.evicted_tids = self._apply_window(inserted, deleted, dirtied)
-        report.delta_counts = {
-            "inserts": len(inserted),
-            "updates": len(updated),
-            "deletes": len(deleted) + len(report.evicted_tids),
-        }
-        report.dirtied_groups = {name: set(keys) for name, keys in dirtied.items()}
+        with span(
+            "stream.tick", sequence=self._batches, deltas=len(batch)
+        ) as tick_span:
+            with stage_scope(timings, "streaming", "delta"):
+                inserted, updated, deleted = self._apply_deltas(batch, dirtied)
+                report.evicted_tids = self._apply_window(
+                    inserted, deleted, dirtied
+                )
+            report.delta_counts = {
+                "inserts": len(inserted),
+                "updates": len(updated),
+                "deletes": len(deleted) + len(report.evicted_tids),
+            }
+            report.dirtied_groups = {
+                name: set(keys) for name, keys in dirtied.items()
+            }
 
-        # Stage I on the affected blocks only.
-        affected = [name for name in self._stage1 if dirtied.get(name)]
-        report.affected_blocks = affected
-        for name in affected:
-            with timings.time("agp"):
-                block = self._index.canonical_block(name)
-                report.agp.extend(self._agp.process_block(block))
-            with timings.time("rsc"):
-                report.rsc.extend(self._rsc.clean_block(block))
-            self._stage1[name] = block
+            # Stage I on the affected blocks only.
+            affected = [name for name in self._stage1 if dirtied.get(name)]
+            report.affected_blocks = affected
+            for name in affected:
+                with stage_scope(timings, "streaming", "agp", block=name):
+                    block = self._index.canonical_block(name)
+                    report.agp.extend(self._agp.process_block(block))
+                with stage_scope(timings, "streaming", "rsc", block=name):
+                    report.rsc.extend(self._rsc.clean_block(block))
+                self._stage1[name] = block
 
-        # Stage II for the tuples whose fusion inputs changed.
-        with timings.time("fscr"):
-            affected_tids = self._affected_tuples(affected, inserted, updated)
-            resolved, failed = self._refuse(affected_tids)
-        report.resolved_tids = resolved
-        report.failed_tids = failed
+            # Stage II for the tuples whose fusion inputs changed.
+            with stage_scope(timings, "streaming", "fscr"):
+                affected_tids = self._affected_tuples(
+                    affected, inserted, updated
+                )
+                resolved, failed = self._refuse(affected_tids)
+            report.resolved_tids = resolved
+            report.failed_tids = failed
 
-        if self.config.remove_duplicates:
-            with timings.time("dedup"):
-                self._dedup = remove_duplicates(self._repaired, self._engine)
-            self._cleaned = self._dedup.deduplicated
-        else:
-            self._dedup = None
-            self._cleaned = self._repaired
-        report.tuples_total = len(self._dirty)
+            if self.config.remove_duplicates:
+                with stage_scope(timings, "streaming", "dedup"):
+                    self._dedup = remove_duplicates(
+                        self._repaired, self._engine
+                    )
+                self._cleaned = self._dedup.deduplicated
+            else:
+                self._dedup = None
+                self._cleaned = self._repaired
+            report.tuples_total = len(self._dirty)
+            tick_span.set(
+                affected_blocks=len(affected),
+                resolved=len(resolved),
+                retained=report.tuples_total,
+            )
 
         if ground_truth is not None:
             self._ground_truth = self._ground_truth.merge(ground_truth)
@@ -281,10 +298,11 @@ class StreamingMLNClean:
         :mod:`repro.streaming.source`).
         """
         reports = []
-        for item in stream:
-            deltas = getattr(item, "deltas", item)
-            ground_truth = getattr(item, "ground_truth", None)
-            reports.append(self.apply_batch(deltas, ground_truth))
+        with ensure_tracer(self.config.trace):
+            for item in stream:
+                deltas = getattr(item, "deltas", item)
+                ground_truth = getattr(item, "ground_truth", None)
+                reports.append(self.apply_batch(deltas, ground_truth))
         return reports
 
     # ------------------------------------------------------------------

@@ -71,6 +71,19 @@ def test_service_quickstart_example(monkeypatch, capsys):
     assert "distance cache hit rate" in output
 
 
+def test_tracing_tour_example(monkeypatch, capsys, tmp_path):
+    trace_out = tmp_path / "trace.json"
+    output = run_example(
+        monkeypatch, capsys, "tracing_tour.py", ["48", str(trace_out)]
+    )
+    assert "span tree of the batch run" in output
+    assert "pipeline.clean" in output and "stage:agp" in output
+    assert "connected trees: 1" in output
+    assert "masked report signature identical with tracing off: True" in output
+    assert "repro_stage_seconds_total" in output
+    assert trace_out.is_file()
+
+
 def test_examples_directory_contains_expected_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {
@@ -81,4 +94,5 @@ def test_examples_directory_contains_expected_scripts():
         "streaming_clean.py",
         "backends_tour.py",
         "service_quickstart.py",
+        "tracing_tour.py",
     } <= names

@@ -445,7 +445,10 @@ def test_stats_surface():
             await service.wait(job.id)
             stats = service.stats()
             assert stats["status"] == "ok"
-            assert stats["queue"] == {"pending": 0, "max_pending": 64}
+            assert stats["queue"]["pending"] == 0
+            assert stats["queue"]["max_pending"] == 64
+            # one shard exists and its queue has drained
+            assert list(stats["queue"]["depth_per_shard"].values()) == [0]
             assert stats["jobs"]["done"] == 1
             assert stats["latency"]["count"] == 1
             assert stats["latency"]["p95_s"] >= stats["latency"]["p50_s"] > 0
