@@ -1,0 +1,276 @@
+"""CI smoke driver for the cluster fabric.
+
+Stands up one router plus two workers over a shared data directory, then
+exercises the whole tentpole in one run:
+
+1. fires N concurrent ``POST /clean`` requests through the router and
+   asserts every response is byte-identical to a batch ``CleaningReport``
+   computed locally,
+2. streams delta micro-batches through the router, ``kill -9``'s the worker
+   that owns the stream mid-way, keeps streaming through a retrying client
+   (the failover is invisible to it), and asserts the surviving worker's
+   recovered stream — masked report signature *and* cleaned table — is
+   byte-identical to an uninterrupted in-process engine,
+3. writes the router's merged ``/stats`` fan-in to a JSON artifact (worker
+   traces land in ``--trace-dir`` for the CI upload).
+
+Usage::
+
+    python benchmarks/cluster_smoke.py --requests 24 \\
+        --out cluster-stats.json --trace-dir cluster-traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.cluster.launch import spawn_router, spawn_worker, wait_for_workers
+from repro.experiments.harness import prepare_instance
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    report_signature,
+    report_signature_dict,
+)
+from repro.service.codec import canonical_json
+from repro.session import CleaningSession
+from repro.streaming import DeltaBatch, Insert, StreamingMLNClean
+from repro.workloads.registry import get_workload_generator, recommended_config
+
+CLEAN_WORKLOAD = "hospital-sample"
+CLEAN_TUPLES = 48
+CLEAN_ERROR_RATE = 0.1
+STREAM_WORKLOAD = "hai"
+STREAM_TUPLES = 32
+STREAM_BATCH = 8
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def clean_reference():
+    """The pre-service answer: one standalone batch session run."""
+    instance = prepare_instance(
+        CLEAN_WORKLOAD, tuples=CLEAN_TUPLES, error_rate=CLEAN_ERROR_RATE
+    )
+    session = CleaningSession(
+        rules=instance.rules, config=recommended_config(CLEAN_WORKLOAD)
+    )
+    return session.run(table=instance.dirty, ground_truth=instance.ground_truth)
+
+
+def stream_batches():
+    """The delta stream: the workload's rows in arrival order, micro-batched."""
+    instance = prepare_instance(STREAM_WORKLOAD, tuples=STREAM_TUPLES)
+    schema = instance.dirty.attributes
+    rows = list(instance.dirty.rows)
+    return schema, [
+        [
+            Insert(values={a: r[a] for a in schema}, tid=r.tid)
+            for r in rows[i:i + STREAM_BATCH]
+        ]
+        for i in range(0, len(rows), STREAM_BATCH)
+    ]
+
+
+def stream_reference(schema, batches):
+    """An uninterrupted in-process engine over the same stream."""
+    generator = get_workload_generator(STREAM_WORKLOAD, tuples=STREAM_TUPLES, seed=7)
+    engine = StreamingMLNClean(
+        generator.rules(),
+        schema=schema,
+        config=recommended_config(STREAM_WORKLOAD),
+    )
+    for deltas in batches:
+        engine.apply_batch(DeltaBatch(list(deltas)))
+    return engine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--out", default="cluster-stats.json")
+    parser.add_argument("--trace-dir", default=None)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    data_dir = tempfile.mkdtemp(prefix="cluster-smoke-")
+    router_port = free_port()
+    worker_ports = {"w1": free_port(), "w2": free_port()}
+    router = spawn_router(router_port, rebalance_interval=0.3, dead_after=1.5)
+    workers = {
+        worker_id: spawn_worker(
+            port,
+            worker_id,
+            data_dir,
+            router=f"127.0.0.1:{router_port}",
+            snapshot_every=2,
+            trace_dir=args.trace_dir,
+        )
+        for worker_id, port in worker_ports.items()
+    }
+    procs = [router, *workers.values()]
+    try:
+        wait_for_workers(router_port, 2)
+        client = ServiceClient(
+            port=router_port, timeout=600, retries=12, backoff=0.2, max_backoff=2.0
+        )
+        print(f"cluster up: router :{router_port}, workers {worker_ports}")
+
+        # ------------------------------------------------------------------
+        # phase 1: concurrent cleans through the router, byte-identical
+        # ------------------------------------------------------------------
+        reference = clean_reference()
+        expected_signature = report_signature(reference)
+        expected_masked = canonical_json(report_signature_dict(reference))
+
+        def one_request(index: int) -> dict:
+            try:
+                return client.clean(
+                    workload=CLEAN_WORKLOAD,
+                    tuples=CLEAN_TUPLES,
+                    error_rate=CLEAN_ERROR_RATE,
+                    timeout=300,
+                )
+            except ServiceError as exc:
+                return {
+                    "id": f"request-{index}",
+                    "status": f"http-{exc.status}",
+                    "error": str(exc),
+                }
+
+        with ThreadPoolExecutor(max_workers=args.threads) as pool:
+            jobs = list(pool.map(one_request, range(args.requests)))
+        for job in jobs:
+            if job["status"] != "done":
+                print(f"FAIL: job {job['id']} ended {job['status']}: {job.get('error')}")
+                failures += 1
+                continue
+            if ":" not in job["id"]:
+                print(f"FAIL: job {job['id']} is not worker-namespaced")
+                failures += 1
+            result = job["result"]
+            if result["signature"] != expected_signature:
+                print(f"FAIL: job {job['id']} signature drifted from the batch report")
+                failures += 1
+            elif (
+                canonical_json(report_signature_dict(result["report"]))
+                != expected_masked
+            ):
+                print(f"FAIL: job {job['id']} report JSON differs from the batch report")
+                failures += 1
+        good = len(jobs) - failures
+        print(
+            f"{good}/{len(jobs)} routed clean responses byte-identical to the "
+            f"batch CleaningReport (signature {expected_signature[:12]}…)"
+        )
+
+        # ------------------------------------------------------------------
+        # phase 2: delta stream + kill -9 the owner mid-stream
+        # ------------------------------------------------------------------
+        schema, batches = stream_batches()
+        ref_engine = stream_reference(schema, batches)
+        ref_signature = report_signature(ref_engine.report())
+
+        def send(deltas) -> dict:
+            wire = [
+                {"op": "insert", "values": dict(d.values), "tid": d.tid}
+                for d in deltas
+            ]
+            return client.deltas(
+                wire, workload=STREAM_WORKLOAD, seed=7, include_table=False
+            )
+
+        half = len(batches) // 2
+        for deltas in batches[:half]:
+            job = send(deltas)
+            if job["status"] != "done":
+                print(f"FAIL: delta job {job['id']} ended {job['status']}")
+                failures += 1
+
+        # the stream's owner is whichever worker answers /cluster/streams
+        owner, stream_fp = None, None
+        for worker_id, port in worker_ports.items():
+            info = ServiceClient(port=port).request("GET", "/cluster/info")
+            for fingerprint in info["shards"]:
+                try:
+                    ServiceClient(port=port).request(
+                        "GET", f"/cluster/streams/{fingerprint}"
+                    )
+                except ServiceError:
+                    continue
+                owner, stream_fp = worker_id, fingerprint
+        if owner is None:
+            print("FAIL: no worker reports a live stream")
+            return 1
+
+        victim = workers[owner]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait()
+        print(f"killed worker {owner} (SIGKILL) mid-stream; continuing the stream")
+
+        for deltas in batches[half:]:
+            job = send(deltas)
+            if job["status"] != "done":
+                print(f"FAIL: post-kill delta job {job['id']} ended {job['status']}")
+                failures += 1
+
+        survivor = next(w for w in worker_ports if w != owner)
+        state = ServiceClient(port=worker_ports[survivor]).request(
+            "GET", f"/cluster/streams/{stream_fp}"
+        )
+        if state["signature"] != ref_signature:
+            print("FAIL: recovered stream signature differs from the reference")
+            failures += 1
+        else:
+            print(
+                f"recovered stream on {survivor} byte-identical after kill -9 "
+                f"(signature {ref_signature[:12]}…, ticks={state['ticks']})"
+            )
+        from repro.core.report import table_to_json_dict
+
+        if canonical_json(state["cleaned"]) != canonical_json(
+            table_to_json_dict(ref_engine.cleaned)
+        ):
+            print("FAIL: recovered cleaned table differs from the reference")
+            failures += 1
+
+        # ------------------------------------------------------------------
+        # artifacts: the router's merged fan-in
+        # ------------------------------------------------------------------
+        stats = client.stats()
+        Path(args.out).write_text(json.dumps(stats, indent=1) + "\n", encoding="utf-8")
+        print(f"merged /stats snapshot written to {args.out}")
+        live = [w for w, info in stats["workers"].items() if info["live"]]
+        print(
+            f"membership after failover: live={live}, "
+            f"pending_total={stats['pending_total']}, "
+            f"shard_owners={ {w: len(s) for w, s in stats['shard_owners'].items()} }"
+        )
+        if owner in live:
+            print(f"FAIL: killed worker {owner} still reported live")
+            failures += 1
+        return 1 if failures else 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

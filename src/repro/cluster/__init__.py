@@ -1,0 +1,67 @@
+"""repro.cluster: a multi-process shard fabric for the cleaning service.
+
+One **router** process consistent-hashes shard identities onto N **worker**
+processes; each worker runs its own :class:`repro.service.CleaningService`
+(its own ``SessionPool`` subset, on its own GIL) behind the unchanged HTTP
+wire protocol.  The router re-exposes ``/clean``, ``/deltas``,
+``/jobs/<id>``, ``/healthz``, ``/stats`` and ``/metrics`` with per-worker
+fan-in, so a single-process client keeps working against a fleet.
+
+Durability: every applied delta micro-batch is appended to a per-shard
+write-ahead log (length-prefixed, CRC-checksummed JSON records reusing the
+:mod:`repro.streaming.delta` codecs) and fsynced *before* the job is
+acknowledged; periodic snapshots bound replay.  A worker that dies — up to
+and including ``kill -9`` — restarts, replays snapshot + WAL tail through
+the streaming engine's exact-replay path, and resumes with its streaming
+windows and warm caches intact; the masked report signature after recovery
+is byte-identical to an uninterrupted run (asserted by tests and CI).
+
+Run it::
+
+    python -m repro.cluster worker --port 8741 --data-dir ./state --worker-id w1
+    python -m repro.cluster router --port 8740 --data-dir ./state
+"""
+
+from __future__ import annotations
+
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    RouterConfig,
+    RouterHTTPServer,
+    RouterService,
+    serve_router,
+)
+from repro.cluster.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.cluster.wal import DeltaLog, WalCorruptionError, WalRecord
+from repro.cluster.worker import (
+    RecoveryError,
+    ShardDurability,
+    WorkerConfig,
+    WorkerHTTPServer,
+    WorkerService,
+    serve_worker,
+)
+
+__all__ = [
+    "DeltaLog",
+    "HashRing",
+    "RecoveryError",
+    "RouterConfig",
+    "RouterHTTPServer",
+    "RouterService",
+    "ShardDurability",
+    "SnapshotError",
+    "WalCorruptionError",
+    "WalRecord",
+    "WorkerConfig",
+    "WorkerHTTPServer",
+    "WorkerService",
+    "load_snapshot",
+    "serve_router",
+    "serve_worker",
+    "write_snapshot",
+]

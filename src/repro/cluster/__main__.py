@@ -1,0 +1,163 @@
+"""Command-line entry points of the cluster fabric.
+
+Usage (with the package installed, or ``PYTHONPATH=src``)::
+
+    # one shared state directory, two workers, one router
+    python -m repro.cluster worker --port 8741 --worker-id w1 \\
+        --data-dir ./state --router 127.0.0.1:8740
+    python -m repro.cluster worker --port 8742 --worker-id w2 \\
+        --data-dir ./state --router 127.0.0.1:8740
+    python -m repro.cluster router --port 8740
+
+Clients talk to the router exactly as they would to a single-process
+``python -m repro.service serve`` — same routes, same payloads.  The
+operational flags (``--log-level``, ``--seed``) are shared with the other
+CLIs through :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+
+from repro.cli import common_parent, configure_logging
+from repro.cluster.router import RouterConfig, serve_router
+from repro.cluster.worker import WorkerConfig, serve_worker
+from repro.service.service import ServiceConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="multi-process shard fabric for the cleaning service",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    router_cmd = commands.add_parser(
+        "router",
+        parents=[common_parent()],
+        help="run the consistent-hashing front door",
+    )
+    router_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    router_cmd.add_argument("--port", type=int, default=8740, help="bind port")
+    router_cmd.add_argument(
+        "--dead-after",
+        type=float,
+        default=3.0,
+        help="seconds without a heartbeat before a worker leaves the ring",
+    )
+    router_cmd.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=1.0,
+        help="seconds between rebalance sweeps",
+    )
+
+    worker_cmd = commands.add_parser(
+        "worker",
+        parents=[common_parent()],
+        help="run one durable cleaning worker",
+    )
+    worker_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    worker_cmd.add_argument("--port", type=int, default=8741, help="bind port")
+    worker_cmd.add_argument(
+        "--worker-id", required=True, help="stable ring identity of this worker"
+    )
+    worker_cmd.add_argument(
+        "--data-dir",
+        required=True,
+        help="shared durable-state directory (WALs, snapshots, shard specs)",
+    )
+    worker_cmd.add_argument(
+        "--router",
+        default=None,
+        help="host:port of the router to heartbeat to (omit for standalone)",
+    )
+    worker_cmd.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="engine ticks between snapshots (the WAL resets after each)",
+    )
+    worker_cmd.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between heartbeats to the router",
+    )
+    worker_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="bounded backpressure: queued-or-running jobs before 503s",
+    )
+    worker_cmd.add_argument(
+        "--workers", type=int, default=4, help="cleaning executor threads"
+    )
+    worker_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a graceful shutdown waits for queued jobs",
+    )
+    worker_cmd.add_argument(
+        "--trace-dir",
+        default=None,
+        help="trace every job; write one Chrome trace_event JSON per "
+        "finished job into this directory",
+    )
+
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    if args.command == "router":
+        config = RouterConfig(
+            dead_after=args.dead_after,
+            rebalance_interval=args.rebalance_interval,
+        )
+        logging.getLogger("repro.cluster.router").info(
+            "starting router: host=%s port=%d dead_after=%.1fs",
+            args.host, args.port, config.dead_after,
+        )
+        try:
+            asyncio.run(serve_router(args.host, args.port, config))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    worker_config = WorkerConfig(
+        worker_id=args.worker_id,
+        data_dir=args.data_dir,
+        snapshot_every=args.snapshot_every,
+        router=args.router,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    service_config = ServiceConfig(
+        max_pending=args.max_pending,
+        executor_workers=args.workers,
+        default_seed=args.seed,
+        trace_dir=args.trace_dir,
+    )
+    logging.getLogger("repro.cluster.worker").info(
+        "starting worker %s: host=%s port=%d data_dir=%s router=%s",
+        worker_config.worker_id, args.host, args.port,
+        worker_config.data_dir, worker_config.router,
+    )
+    try:
+        asyncio.run(
+            serve_worker(
+                args.host,
+                args.port,
+                worker_config,
+                service_config,
+                drain_timeout=args.drain_timeout,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""A minimal asyncio HTTP/1.1 client for intra-cluster calls.
+
+The service's wire protocol is deliberately simple — one request per
+connection, ``Connection: close``, ``Content-Length`` framing — so the
+matching client fits in one function.  The router proxies request bodies
+through it verbatim, and workers use it for heartbeats; neither needs (or
+has) an external HTTP library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+#: response bodies beyond this are refused (mirrors the server's bound)
+MAX_RESPONSE_BYTES = 64 * 1024 * 1024
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict, bytes]:
+    """One HTTP exchange; returns ``(status, headers, body)``.
+
+    Raises ``ConnectionError`` when the peer is unreachable or hangs up
+    mid-response, and ``asyncio.TimeoutError`` past ``timeout`` — callers
+    (the router) map both onto "worker is down".
+    """
+    return await asyncio.wait_for(
+        _http_request(host, port, method, path, body, headers),
+        timeout=timeout,
+    )
+
+
+async def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes,
+    headers: Optional[dict],
+) -> tuple[int, dict, bytes]:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        raise ConnectionError(f"cannot reach {host}:{port}: {exc}") from exc
+    try:
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError(f"{host}:{port} closed before responding")
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        response_headers: dict = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = response_headers.get("content-length")
+        if length is not None:
+            size = int(length)
+            if size > MAX_RESPONSE_BYTES:
+                raise ConnectionError(f"{host}:{port} response of {size} bytes refused")
+            payload = await reader.readexactly(size) if size else b""
+        else:
+            # Connection: close framing — the body runs to EOF
+            payload = await reader.read(MAX_RESPONSE_BYTES)
+        return status, response_headers, payload
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError(f"{host}:{port} hung up mid-response") from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    headers: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict]:
+    """JSON-in, JSON-out convenience over :func:`http_request`."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    send_headers = {"Content-Type": "application/json", **(headers or {})}
+    status, _, raw = await http_request(
+        host, port, method, path, body=body, headers=send_headers, timeout=timeout
+    )
+    decoded = json.loads(raw.decode("utf-8")) if raw else {}
+    return status, decoded

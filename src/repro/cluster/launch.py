@@ -1,0 +1,114 @@
+"""Subprocess helpers for standing up a local cluster.
+
+Tests, ``examples/cluster_quickstart.py`` and the CI smoke driver all need
+the same three moves — spawn a router, spawn workers against a shared data
+directory, wait for health — so they live here once.  Processes are plain
+``subprocess.Popen`` handles: callers kill, ``kill -9`` or terminate them
+directly (crash-recovery tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+
+def _cluster_env() -> dict:
+    """The child environment, with ``src/`` importable like the parent."""
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[2]
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else str(src)
+    return env
+
+
+def spawn_router(
+    port: int,
+    host: str = "127.0.0.1",
+    dead_after: float = 3.0,
+    rebalance_interval: float = 0.5,
+    log_level: str = "warning",
+    **popen_kwargs,
+) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro.cluster", "router",
+        "--host", host,
+        "--port", str(port),
+        "--dead-after", str(dead_after),
+        "--rebalance-interval", str(rebalance_interval),
+        "--log-level", log_level,
+    ]
+    return subprocess.Popen(command, env=_cluster_env(), **popen_kwargs)
+
+
+def spawn_worker(
+    port: int,
+    worker_id: str,
+    data_dir: Union[str, Path],
+    router: Optional[str] = None,
+    host: str = "127.0.0.1",
+    snapshot_every: int = 8,
+    heartbeat_interval: float = 0.25,
+    drain_timeout: float = 30.0,
+    trace_dir: Optional[Union[str, Path]] = None,
+    log_level: str = "warning",
+    **popen_kwargs,
+) -> subprocess.Popen:
+    command = [
+        sys.executable, "-m", "repro.cluster", "worker",
+        "--host", host,
+        "--port", str(port),
+        "--worker-id", worker_id,
+        "--data-dir", str(data_dir),
+        "--snapshot-every", str(snapshot_every),
+        "--heartbeat-interval", str(heartbeat_interval),
+        "--drain-timeout", str(drain_timeout),
+        "--log-level", log_level,
+    ]
+    if router:
+        command += ["--router", router]
+    if trace_dir:
+        command += ["--trace-dir", str(trace_dir)]
+    return subprocess.Popen(command, env=_cluster_env(), **popen_kwargs)
+
+
+def wait_until_healthy(
+    port: int, host: str = "127.0.0.1", timeout: float = 30.0
+) -> dict:
+    """Block until ``/healthz`` answers on ``host:port`` (process boot)."""
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(host=host, port=port).wait_until_healthy(timeout=timeout)
+
+
+def wait_for_workers(
+    router_port: int,
+    expected: int,
+    host: str = "127.0.0.1",
+    timeout: float = 30.0,
+) -> dict:
+    """Block until the router reports ``expected`` live workers."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=host, port=router_port)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            health = client.healthz()
+            live = [
+                w for w in health.get("workers", {}).values() if w.get("live")
+            ]
+            if len(live) >= expected:
+                return health
+        except (ConnectionError, OSError):
+            pass
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"router on port {router_port} never reported "
+                f"{expected} live worker(s)"
+            )
+        time.sleep(0.1)

@@ -1,0 +1,79 @@
+"""Consistent hash ring: deterministic shard → worker placement.
+
+Every worker contributes ``replicas`` virtual points (SHA-256 of
+``"<node>#<i>"``) on a 2^256 ring; a key is owned by the first point at or
+after the key's own hash.  The construction is deterministic — any process
+that knows the member list computes identical ownership, so the router and
+an offline observer always agree — and adding or removing one worker moves
+only the keys whose arc that worker's points covered (≈ 1/N of them),
+which is what keeps rebalances cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Optional, Sequence
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest(), "big")
+
+
+class HashRing:
+    """A consistent hash ring over string node names."""
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("a hash ring needs replicas >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            self._points.append((_point(f"{node}#{i}"), node))
+        self._points.sort()
+        self._hashes = [p for p, _ in self._points]
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+        self._hashes = [p for p, _ in self._points]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def assign(self, key: str) -> Optional[str]:
+        """The node that owns ``key`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        index = bisect.bisect_left(self._hashes, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def assignments(self, keys: Sequence[str]) -> dict:
+        """key → owning node for a batch of keys."""
+        return {key: self.assign(key) for key in keys}

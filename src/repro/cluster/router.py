@@ -1,0 +1,553 @@
+"""The cluster router: one front door consistent-hashing shards to workers.
+
+The router speaks the *same* wire protocol as a single-process service —
+``/clean``, ``/deltas``, ``/jobs/<id>``, ``/healthz``, ``/stats``,
+``/metrics`` — so existing clients (and :class:`ServiceClient`) work against
+a fleet unchanged.  Per request it decodes just enough to compute the
+shard fingerprint (the same :class:`~repro.service.pool.SessionPool`
+routing the workers use, so router and worker always agree on identity),
+picks the owner off a :class:`~repro.cluster.ring.HashRing` over the live
+workers, and proxies the raw body through, tagging it with an
+``X-Repro-Request-Id`` so the worker's job spans stitch to the router's
+``router.route`` spans.
+
+Membership is heartbeat-driven: workers POST ``/cluster/heartbeat`` every
+second or so; a worker unseen for ``dead_after`` seconds leaves the ring.
+Requests owned by a dead or missing worker answer ``503`` with
+``Retry-After`` — a :class:`ServiceClient` with ``retries=`` rides the gap
+out, which is what makes rebalances and worker restarts invisible to
+callers.  A background loop also *rebalances*: when the ring says a shard a
+worker reported belongs elsewhere (a node joined or left), the router asks
+the current holder to drain it (``POST /cluster/drain`` → checkpoint +
+evict); the rightful owner recovers it lazily from the shared data dir on
+the next request.
+
+Job ids are namespaced ``<worker_id>:<job_id>`` on the way out and split on
+the way back in, so ``GET /jobs/<id>`` finds its worker without any router
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.service.codec import decode_clean_request, decode_delta_request
+from repro.service.errors import BadRequestError, PoolExhaustedError
+from repro.service.http import ServiceHTTPServer, _error_payload
+from repro.service.pool import SessionPool
+from repro.cluster.httpclient import http_json, http_request
+from repro.cluster.ring import HashRing
+
+log = logging.getLogger("repro.cluster.router")
+
+
+@dataclass
+class RouterConfig:
+    """Operational knobs of one router process."""
+
+    #: seconds without a heartbeat before a worker leaves the ring
+    dead_after: float = 3.0
+    #: seconds between rebalance / membership-prune sweeps
+    rebalance_interval: float = 1.0
+    #: proxy timeout towards workers (covers ``wait=true`` cleaning jobs)
+    proxy_timeout: float = 600.0
+    #: distinct routing identities the router keeps warm sessions for
+    max_route_shards: int = 4096
+    #: record ``router.route`` spans in memory (tests read them back)
+    trace: bool = False
+
+
+@dataclass
+class WorkerInfo:
+    """One worker's last-heartbeat view."""
+
+    worker_id: str
+    host: str
+    port: int
+    shards: list = field(default_factory=list)
+    pending: int = 0
+    last_seen: float = field(default_factory=time.monotonic)
+
+    def age(self) -> float:
+        return time.monotonic() - self.last_seen
+
+
+class RouterService:
+    """Membership, routing and fan-in logic behind the router's front end."""
+
+    def __init__(self, config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        #: routing-only pool: it never runs a job, it exists so the router
+        #: computes the *same* shard fingerprints the workers do
+        self.pool = SessionPool(max_shards=self.config.max_route_shards)
+        self.ring = HashRing()
+        self.workers: "dict[str, WorkerInfo]" = {}
+        self._started_at = time.monotonic()
+        self._seq = 0
+        self._nonce = uuid.uuid4().hex[:8]
+        self._rebalance_task: Optional[asyncio.Task] = None
+        self.tracer: Optional[Tracer] = Tracer() if self.config.trace else None
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_router_requests_total",
+            "requests proxied by the router, by route, worker and status",
+            ("route", "worker", "status"),
+        )
+        self._rebalanced_total = self.metrics.counter(
+            "repro_router_rebalanced_shards_total",
+            "shard drains the rebalancer requested",
+        )
+        self.metrics.register_collector(self._membership_families)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "RouterService":
+        if self._rebalance_task is None:
+            self._rebalance_task = asyncio.get_running_loop().create_task(
+                self._rebalance_loop(), name="router-rebalance"
+            )
+        return self
+
+    async def stop(self) -> None:
+        if self._rebalance_task is not None:
+            self._rebalance_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._rebalance_task
+            self._rebalance_task = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def heartbeat(self, payload: dict) -> dict:
+        """Register/refresh one worker from its heartbeat body."""
+        worker_id = payload.get("worker_id")
+        port = payload.get("port")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise BadRequestError("a heartbeat needs a 'worker_id'")
+        if not isinstance(port, int):
+            raise BadRequestError("a heartbeat needs an integer 'port'")
+        host = payload.get("host") or "127.0.0.1"
+        shards = payload.get("shards")
+        info = self.workers.get(worker_id)
+        if info is None:
+            info = WorkerInfo(worker_id=worker_id, host=host, port=port)
+            self.workers[worker_id] = info
+            self.ring.add(worker_id)
+            log.info("worker %s joined at %s:%d", worker_id, host, port)
+        info.host, info.port = host, port
+        if isinstance(shards, list):
+            info.shards = [s for s in shards if isinstance(s, str)]
+        info.pending = int(payload.get("pending") or 0)
+        info.last_seen = time.monotonic()
+        return {"workers": sorted(self.workers), "dead_after": self.config.dead_after}
+
+    def live_workers(self) -> "dict[str, WorkerInfo]":
+        return {
+            worker_id: info
+            for worker_id, info in self.workers.items()
+            if info.age() <= self.config.dead_after
+        }
+
+    def owner_of(self, fingerprint: str) -> Optional[WorkerInfo]:
+        """The live worker the ring assigns this shard to (None = no one)."""
+        worker_id = self.ring.assign(fingerprint)
+        if worker_id is None:
+            return None
+        info = self.workers.get(worker_id)
+        if info is None or info.age() > self.config.dead_after:
+            return None
+        return info
+
+    def _prune_dead(self) -> None:
+        for worker_id, info in list(self.workers.items()):
+            if info.age() > 3 * self.config.dead_after:
+                del self.workers[worker_id]
+                self.ring.remove(worker_id)
+                log.info("worker %s pruned (last seen %.1fs ago)", worker_id, info.age())
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    async def _rebalance_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.rebalance_interval)
+            try:
+                self._prune_dead()
+                await self.rebalance_once()
+            except Exception:  # noqa: BLE001 - the loop must survive sweeps
+                log.exception("rebalance sweep failed")
+
+    async def rebalance_once(self) -> int:
+        """Ask holders of misplaced shards to drain them; returns how many."""
+        live = self.live_workers()
+        drained = 0
+        for info in live.values():
+            for fingerprint in list(info.shards):
+                target = self.ring.assign(fingerprint)
+                if target is None or target == info.worker_id or target not in live:
+                    continue
+                try:
+                    await http_json(
+                        info.host,
+                        info.port,
+                        "POST",
+                        "/cluster/drain",
+                        payload={"fingerprint": fingerprint},
+                        timeout=self.config.proxy_timeout,
+                    )
+                except (ConnectionError, asyncio.TimeoutError):
+                    continue
+                self._rebalanced_total.inc()
+                drained += 1
+                log.info(
+                    "shard %s drained off %s (ring says %s)",
+                    fingerprint[:10], info.worker_id, target,
+                )
+        return drained
+
+    # ------------------------------------------------------------------
+    # routing + proxying
+    # ------------------------------------------------------------------
+    def next_request_id(self) -> str:
+        self._seq += 1
+        return f"{self._nonce}-{self._seq:06d}"
+
+    def route_fingerprint(self, path: str, payload: dict) -> str:
+        """The shard fingerprint of one submit body (router ⇔ worker agree).
+
+        The router's pool builds the same session identity a worker would,
+        so the ring key is exactly the worker-side shard fingerprint — which
+        is also what workers report in heartbeats, closing the loop for the
+        ownership gauge and the rebalancer.
+        """
+        # routing only needs identity fields; deltas/tables can stay unvalidated
+        if path == "/clean":
+            spec = decode_clean_request(payload)
+        else:
+            spec = decode_delta_request(payload)
+        return self.pool.route(spec).key.fingerprint
+
+    async def proxy_submit(self, path: str, body: bytes) -> tuple:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(payload, dict):
+                raise BadRequestError("the request body must be a JSON object")
+            fingerprint = self.route_fingerprint(path, payload)
+        except BadRequestError as exc:
+            return 400, _error_payload("bad_request", str(exc)), {}
+        except KeyError as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            return 400, _error_payload("unknown_name", str(message)), {}
+        except PoolExhaustedError as exc:
+            return 503, _error_payload("pool_exhausted", str(exc)), {"Retry-After": "1"}
+        except ValueError as exc:
+            return 400, _error_payload("bad_json", f"request body is not JSON: {exc}"), {}
+        request_id = self.next_request_id()
+        owner = self.owner_of(fingerprint)
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.begin(
+                "router.route",
+                parent=None,
+                route=path,
+                request_id=request_id,
+                fingerprint=fingerprint,
+                worker=owner.worker_id if owner else None,
+            )
+        try:
+            if owner is None:
+                self._requests_total.labels(
+                    route=path, worker="none", status="503"
+                ).inc()
+                return 503, _error_payload(
+                    "no_worker", f"no live worker owns shard {fingerprint[:10]}"
+                ), {"Retry-After": "1"}
+            status, payload = await self._forward(
+                owner, "POST", path, body, request_id
+            )
+            if status is None:
+                return 503, _error_payload(
+                    "worker_unreachable", f"worker {owner.worker_id} did not answer"
+                ), {"Retry-After": "1"}
+            self._rewrite_job(payload, owner.worker_id)
+            return status, payload, {}
+        finally:
+            if root is not None:
+                self.tracer.end(root)
+
+    async def proxy_job(self, job_id: str) -> tuple:
+        worker_id, _, local_id = job_id.partition(":")
+        if not local_id:
+            return 404, _error_payload(
+                "unknown_job",
+                f"cluster job ids look like <worker>:<job>, got {job_id!r}",
+            ), {}
+        info = self.workers.get(worker_id)
+        if info is None or info.age() > self.config.dead_after:
+            return 503, _error_payload(
+                "no_worker", f"worker {worker_id!r} is not live"
+            ), {"Retry-After": "1"}
+        status, payload = await self._forward(
+            info, "GET", f"/jobs/{local_id}", b"", None
+        )
+        if status is None:
+            return 503, _error_payload(
+                "worker_unreachable", f"worker {worker_id} did not answer"
+            ), {"Retry-After": "1"}
+        self._rewrite_job(payload, worker_id)
+        return status, payload, {}
+
+    async def _forward(
+        self,
+        info: WorkerInfo,
+        method: str,
+        path: str,
+        body: bytes,
+        request_id: Optional[str],
+    ) -> tuple:
+        headers = {"Content-Type": "application/json", "X-Repro-Worker": info.worker_id}
+        if request_id is not None:
+            headers["X-Repro-Request-Id"] = request_id
+        try:
+            status, _, raw = await http_request(
+                info.host,
+                info.port,
+                method,
+                path,
+                body=body,
+                headers=headers,
+                timeout=self.config.proxy_timeout,
+            )
+        except (ConnectionError, asyncio.TimeoutError):
+            self._requests_total.labels(
+                route=path, worker=info.worker_id, status="unreachable"
+            ).inc()
+            return None, None
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        self._requests_total.labels(
+            route=path, worker=info.worker_id, status=str(status)
+        ).inc()
+        return status, payload
+
+    @staticmethod
+    def _rewrite_job(payload, worker_id: str) -> None:
+        """Namespace job ids with their worker, in place."""
+        if not isinstance(payload, dict):
+            return
+        job = payload.get("job")
+        if isinstance(job, dict) and isinstance(job.get("id"), str):
+            if ":" not in job["id"]:
+                job["id"] = f"{worker_id}:{job['id']}"
+
+    # ------------------------------------------------------------------
+    # fan-in introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        live = self.live_workers()
+        return {
+            "status": "ok" if live else "no_workers",
+            "role": "router",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": {
+                worker_id: {
+                    "host": info.host,
+                    "port": info.port,
+                    "live": worker_id in live,
+                    "age_s": round(info.age(), 3),
+                    "shards": len(info.shards),
+                    "pending": info.pending,
+                }
+                for worker_id, info in self.workers.items()
+            },
+        }
+
+    async def stats(self) -> dict:
+        """Router view plus every live worker's ``/stats``, keyed by id."""
+        live = self.live_workers()
+        results = await asyncio.gather(
+            *(
+                http_json(
+                    info.host, info.port, "GET", "/stats",
+                    timeout=self.config.proxy_timeout,
+                )
+                for info in live.values()
+            ),
+            return_exceptions=True,
+        )
+        workers = {}
+        pending_total = 0
+        for info, outcome in zip(live.values(), results):
+            if isinstance(outcome, BaseException):
+                workers[info.worker_id] = {"error": str(outcome)}
+                continue
+            _status, payload = outcome
+            workers[info.worker_id] = payload
+            pending_total += int(payload.get("pending") or 0)
+        return {
+            **self.healthz(),
+            "pending_total": pending_total,
+            "shard_owners": {
+                info.worker_id: list(info.shards) for info in live.values()
+            },
+            "workers_stats": workers,
+        }
+
+    async def metrics_text(self) -> str:
+        """Merged exposition: router metrics + per-worker relabelled metrics."""
+        live = self.live_workers()
+        results = await asyncio.gather(
+            *(
+                http_request(
+                    info.host, info.port, "GET", "/metrics",
+                    timeout=self.config.proxy_timeout,
+                )
+                for info in live.values()
+            ),
+            return_exceptions=True,
+        )
+        sections = []
+        for info, outcome in zip(live.values(), results):
+            if isinstance(outcome, BaseException):
+                continue
+            _status, _headers, raw = outcome
+            sections.append((info.worker_id, raw.decode("utf-8")))
+        return self.metrics.render_prometheus() + merge_worker_metrics(sections)
+
+    def _membership_families(self) -> list:
+        live = self.live_workers()
+        return [
+            {
+                "name": "repro_cluster_workers",
+                "type": "gauge",
+                "help": "live workers on the ring",
+                "samples": [({}, len(live))],
+            },
+            {
+                "name": "repro_cluster_shards_owned",
+                "type": "gauge",
+                "help": "streaming shards each live worker reported owning",
+                "samples": [
+                    ({"worker": info.worker_id}, len(info.shards))
+                    for info in live.values()
+                ],
+            },
+        ]
+
+
+def merge_worker_metrics(sections: "list[tuple[str, str]]") -> str:
+    """Concatenate Prometheus texts, tagging samples with ``worker="<id>"``.
+
+    ``# HELP``/``# TYPE`` lines are emitted once per metric name (first
+    worker wins), and every sample line gains a ``worker`` label so series
+    from different workers stay distinct after the merge.
+    """
+    lines: "list[str]" = []
+    described: set = set()
+    for worker_id, text in sections:
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                name = parts[2] if len(parts) > 2 else ""
+                if (parts[1] if len(parts) > 1 else "", name) in described:
+                    continue
+                described.add((parts[1] if len(parts) > 1 else "", name))
+                lines.append(line)
+                continue
+            lines.append(_inject_label(line, "worker", worker_id))
+    return ("\n".join(lines) + "\n") if lines else ""
+
+
+def _inject_label(sample_line: str, label: str, value: str) -> str:
+    """``name{a="x"} 1`` → ``name{a="x",worker="w1"} 1`` (and the no-brace form)."""
+    name_part, _, rest = sample_line.partition(" ")
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    if name_part.endswith("}"):
+        body = name_part[:-1]
+        sep = "" if body.endswith("{") else ","
+        name_part = f'{body}{sep}{label}="{escaped}"}}'
+    else:
+        name_part = f'{name_part}{{{label}="{escaped}"}}'
+    return f"{name_part} {rest}" if rest else name_part
+
+
+class RouterHTTPServer(ServiceHTTPServer):
+    """The router's HTTP front end (reuses the service's connection plumbing)."""
+
+    def __init__(
+        self,
+        router: RouterService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ):
+        # the base class's service-bound routes are fully overridden below
+        super().__init__(service=None, host=host, port=port)
+        self.router = router
+
+    async def _dispatch(self, method, path, body, headers=None):
+        path = path.split("?", 1)[0]
+        if path == "/cluster/heartbeat" and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8") or "{}")
+                return 200, self.router.heartbeat(payload), {}
+            except BadRequestError as exc:
+                return 400, _error_payload("bad_request", str(exc)), {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, _error_payload("bad_json", f"not JSON: {exc}"), {}
+        if path == "/healthz" and method == "GET":
+            return 200, self.router.healthz(), {}
+        if path == "/stats" and method == "GET":
+            return 200, await self.router.stats(), {}
+        if path == "/metrics" and method == "GET":
+            return 200, await self.router.metrics_text(), {}
+        if path.startswith("/jobs/") and method == "GET":
+            return await self.router.proxy_job(path[len("/jobs/"):])
+        if path in ("/clean", "/deltas"):
+            if method != "POST":
+                return 405, _error_payload(
+                    "method_not_allowed", f"{path} is POST-only"
+                ), {}
+            return await self.router.proxy_submit(path, body)
+        return 404, _error_payload("not_found", f"no route {method} {path}"), {}
+
+
+# ----------------------------------------------------------------------
+# process entry point
+# ----------------------------------------------------------------------
+async def serve_router(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: Optional[RouterConfig] = None,
+) -> None:
+    """Run a router until SIGTERM/SIGINT (mirrors the service's ``serve``)."""
+    router = RouterService(config)
+    await router.start()
+    http = RouterHTTPServer(router, host, port)
+    await http.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+    try:
+        await stop.wait()
+        log.info("shutdown signal received; stopping router")
+    finally:
+        for signum in installed:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signum)
+        await http.stop()
+        await router.stop()

@@ -1,0 +1,72 @@
+"""Atomic per-shard snapshots bounding WAL replay.
+
+A snapshot is one JSON document: the shard's identity (its pool
+fingerprint plus the session :meth:`fingerprint` envelope) and the
+streaming engine's :meth:`state_dict`.  Writes are atomic — temp file in
+the same directory, flush, fsync, ``os.replace`` — so a crash mid-write
+leaves the previous snapshot intact; a reader only ever sees a complete
+document or none.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+FORMAT = 1
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot exists but cannot be trusted for this shard."""
+
+
+def write_snapshot(
+    path: Union[str, Path],
+    shard_fingerprint: str,
+    envelope: dict,
+) -> None:
+    """Atomically persist ``envelope`` (a session snapshot envelope)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": FORMAT,
+        "shard": shard_fingerprint,
+        "envelope": envelope,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_snapshot(
+    path: Union[str, Path], shard_fingerprint: Optional[str] = None
+) -> Optional[dict]:
+    """The stored envelope, or None when no snapshot exists.
+
+    Raises :class:`SnapshotError` on a malformed document or — when
+    ``shard_fingerprint`` is given — on an identity mismatch: restoring a
+    different shard's state would silently change cleaning behaviour.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise SnapshotError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != FORMAT:
+        raise SnapshotError(f"{path} has unsupported snapshot format")
+    if shard_fingerprint is not None and document.get("shard") != shard_fingerprint:
+        raise SnapshotError(
+            f"{path} belongs to shard {document.get('shard')!r}, "
+            f"not {shard_fingerprint!r}"
+        )
+    envelope = document.get("envelope")
+    if not isinstance(envelope, dict):
+        raise SnapshotError(f"{path} has no snapshot envelope")
+    return envelope

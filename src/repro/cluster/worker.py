@@ -1,0 +1,476 @@
+"""The cluster worker: a cleaning service with durable, recoverable shards.
+
+Three pieces live here:
+
+* :class:`ShardDurability` — the durability hooks a
+  :class:`~repro.service.service.CleaningService` calls around its streaming
+  shards: WAL append + fsync before every acknowledgement, periodic
+  snapshots, and crash recovery (snapshot restore + WAL tail replay through
+  the engine's exact-replay path) when a shard's engine is created.
+* :class:`WorkerService` — a ``CleaningService`` wired to one durability
+  layer that **eagerly** recovers every persisted shard at boot, so a
+  ``kill -9``'d worker comes back already holding its streams.
+* :class:`WorkerHTTPServer` — the service's HTTP front end plus the
+  ``/cluster/*`` control routes (drain/handoff, shard inventory, stream
+  introspection) and the heartbeat loop that registers the worker with the
+  router.
+
+Recovery invariant (the tentpole property, asserted by the tests): after a
+crash, replaying the snapshot plus the WAL tail yields a shard whose masked
+``report_signature`` — and cleaned table — are byte-identical to a worker
+that never died.  This holds because the WAL records *applied* micro-batches
+(coalescing decisions included) and
+:meth:`~repro.streaming.cleaner.StreamingMLNClean.restore_state` rebuilds
+every path-dependent accumulator the masked report can observe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs import RECOVERY_REPLAYED_DELTAS, RECOVERY_RUNS, span
+from repro.service.codec import (
+    DeltaRequestSpec,
+    decode_delta_routing,
+    delta_routing_payload,
+    report_signature,
+)
+from repro.service.http import ServiceHTTPServer, _error_payload
+from repro.service.pool import Shard
+from repro.service.service import CleaningService, ServiceConfig
+from repro.streaming.cleaner import StreamingMLNClean
+from repro.streaming.delta import DeltaBatch
+from repro.cluster.httpclient import http_json
+from repro.cluster.snapshot import load_snapshot, write_snapshot
+from repro.cluster.wal import DeltaLog, WalRecord
+
+log = logging.getLogger("repro.cluster.worker")
+
+
+class RecoveryError(RuntimeError):
+    """Persisted shard state exists but cannot be replayed faithfully."""
+
+
+@dataclass
+class WorkerConfig:
+    """Identity and durability knobs of one worker process."""
+
+    #: stable name the router addresses this worker by (ring membership)
+    worker_id: str
+    #: root of the shared durable state; every worker of one cluster points
+    #: at the same directory so any of them can recover any shard
+    data_dir: Union[str, Path]
+    #: engine ticks between snapshots (the WAL resets after each); higher
+    #: values trade longer replay for fewer full-state writes
+    snapshot_every: int = 8
+    #: ``host:port`` of the router to heartbeat to (None = standalone)
+    router: Optional[str] = None
+    #: seconds between heartbeats
+    heartbeat_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise ValueError("a worker needs a non-empty worker_id")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+
+
+class ShardDurability:
+    """Per-shard WAL + snapshot persistence behind the service's hook seam.
+
+    Layout under ``data_dir``::
+
+        shards/<fingerprint>/spec.json      routing identity (rebuilds the shard)
+        shards/<fingerprint>/snapshot.json  engine state at the last checkpoint
+        shards/<fingerprint>/wal.log        applied micro-batches since then
+
+    The directory is keyed by the pool's shard fingerprint, so ownership can
+    move between workers: whoever routes the shard next recovers it from
+    here.  All methods run on the service's executor threads; per-shard
+    serialization is inherited from the service (one worker task per shard),
+    and the handle map has its own lock for the attach/detach edges.
+    """
+
+    def __init__(self, data_dir: Union[str, Path], snapshot_every: int = 8):
+        self.data_dir = Path(data_dir)
+        self.snapshot_every = snapshot_every
+        self._logs: "dict[str, DeltaLog]" = {}
+        self._lock = threading.Lock()
+
+    def shard_dir(self, fingerprint: str) -> Path:
+        return self.data_dir / "shards" / fingerprint
+
+    # ------------------------------------------------------------------
+    # the service's hook seam
+    # ------------------------------------------------------------------
+    def attach(
+        self, shard: Shard, engine: StreamingMLNClean, spec: DeltaRequestSpec
+    ) -> None:
+        """Adopt a freshly created engine: persist identity, recover state.
+
+        Called by the service right after a shard's streaming engine is
+        created and before any delta is applied to it.  If durable state
+        exists for this fingerprint the engine is rebuilt from it — snapshot
+        restore first, then WAL tail replay through ``apply_batch`` —
+        otherwise this marks a cold start and just opens the WAL.
+        """
+        fingerprint = shard.key.fingerprint
+        directory = self.shard_dir(fingerprint)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._persist_spec(directory / "spec.json", spec)
+        wal = DeltaLog(directory / "wal.log")
+        with self._lock:
+            self._logs[fingerprint] = wal
+        replayed = 0
+        source = "cold"
+        with span("worker.recover", shard=shard.key.label, fingerprint=fingerprint) as rec:
+            envelope = load_snapshot(directory / "snapshot.json", fingerprint)
+            if envelope is not None:
+                try:
+                    state = shard.session.check_snapshot(envelope)
+                    engine.restore_state(state)
+                except ValueError as exc:
+                    raise RecoveryError(
+                        f"shard {shard.key.label}: snapshot rejected: {exc}"
+                    ) from exc
+                source = "snapshot"
+            for record in wal.replay():
+                if record.seq < engine.batches_applied:
+                    # the snapshot already contains this tick (a crash after
+                    # checkpoint but before the WAL reset): skip, don't re-apply
+                    continue
+                if record.seq > engine.batches_applied:
+                    raise RecoveryError(
+                        f"shard {shard.key.label}: WAL expects tick "
+                        f"{engine.batches_applied} next but holds {record.seq} "
+                        "(acknowledged history is missing)"
+                    )
+                try:
+                    engine.apply_batch(DeltaBatch.from_json_list(record.deltas))
+                except (KeyError, ValueError) as exc:
+                    raise RecoveryError(
+                        f"shard {shard.key.label}: WAL tick {record.seq} no "
+                        f"longer applies: {exc}"
+                    ) from exc
+                replayed += len(record.deltas)
+                source = "snapshot+wal" if source == "snapshot" else "wal"
+            rec.set(source=source, replayed_deltas=replayed, ticks=engine.batches_applied)
+        if replayed:
+            RECOVERY_REPLAYED_DELTAS.inc(replayed)
+        RECOVERY_RUNS.labels(source=source).inc()
+        if source != "cold":
+            log.info(
+                "recovered shard %s from %s (%d deltas replayed, now at tick %d)",
+                shard.key.label, source, replayed, engine.batches_applied,
+            )
+
+    def log_tick(self, shard: Shard, batch: DeltaBatch, report) -> None:
+        """Make one applied micro-batch durable *before* its jobs are acked."""
+        wal = self._log_for(shard)
+        wal.append(WalRecord(seq=report.sequence, deltas=batch.to_json_list()))
+        if (report.sequence + 1) % self.snapshot_every == 0:
+            self.checkpoint(shard)
+
+    def checkpoint(self, shard: Shard) -> None:
+        """Snapshot the shard's engine state and reset its WAL."""
+        engine = shard.stream
+        if engine is None:
+            return
+        fingerprint = shard.key.fingerprint
+        envelope = shard.session.snapshot_envelope(engine.state_dict())
+        write_snapshot(
+            self.shard_dir(fingerprint) / "snapshot.json", fingerprint, envelope
+        )
+        with self._lock:
+            wal = self._logs.get(fingerprint)
+        if wal is not None:
+            wal.reset()
+
+    def detach(self, shard: Shard) -> None:
+        """Forget a shard's open WAL handle (eviction / handoff)."""
+        with self._lock:
+            wal = self._logs.pop(shard.key.fingerprint, None)
+        if wal is not None:
+            wal.close()
+
+    def close(self) -> None:
+        with self._lock:
+            logs, self._logs = list(self._logs.values()), {}
+        for wal in logs:
+            wal.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _log_for(self, shard: Shard) -> DeltaLog:
+        with self._lock:
+            wal = self._logs.get(shard.key.fingerprint)
+        if wal is None:
+            raise RuntimeError(
+                f"shard {shard.key.label} has no attached WAL; "
+                "log_tick before attach is a service-side bug"
+            )
+        return wal
+
+    @staticmethod
+    def _persist_spec(path: Path, spec: DeltaRequestSpec) -> None:
+        """Write the shard's routing identity once (atomic, first writer wins)."""
+        if path.exists():
+            return
+        try:
+            payload = delta_routing_payload(spec)
+        except ValueError:
+            # an in-process spec with an inline config object is not
+            # wire-expressible; the shard still gets WAL + snapshots, it just
+            # cannot be eagerly recovered at boot (only lazily, on routing)
+            return
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+
+class WorkerService(CleaningService):
+    """A cleaning service whose streaming shards are durable and recoverable."""
+
+    def __init__(
+        self,
+        worker_config: WorkerConfig,
+        config: Optional[ServiceConfig] = None,
+    ):
+        super().__init__(config)
+        self.worker_config = worker_config
+        self.durability = ShardDurability(
+            worker_config.data_dir, snapshot_every=worker_config.snapshot_every
+        )
+
+    async def start(self) -> "WorkerService":
+        await super().start()
+        loop = asyncio.get_running_loop()
+        recovered = await loop.run_in_executor(self._executor, self.recover_all)
+        if recovered:
+            log.info(
+                "worker %s recovered %d shard(s) at boot",
+                self.worker_config.worker_id, recovered,
+            )
+        return self
+
+    async def stop(self) -> None:
+        await super().stop()
+        self.durability.close()
+
+    def recover_all(self) -> int:
+        """Rebuild every persisted shard before traffic arrives (boot path).
+
+        Scans ``data_dir/shards/*/spec.json``, routes each identity back
+        through the pool (rebuilding its warm session), creates the
+        streaming engine and lets :meth:`ShardDurability.attach` replay the
+        durable state into it.  Returns the number of shards recovered.
+        """
+        shards_root = self.durability.data_dir / "shards"
+        if not shards_root.is_dir():
+            return 0
+        recovered = 0
+        for spec_path in sorted(shards_root.glob("*/spec.json")):
+            fingerprint = spec_path.parent.name
+            spec = decode_delta_routing(
+                json.loads(spec_path.read_text(encoding="utf-8"))
+            )
+            shard = self.pool.route(spec)
+            if shard.key.fingerprint != fingerprint:
+                raise RecoveryError(
+                    f"{spec_path} routes to shard {shard.key.fingerprint}, not "
+                    f"{fingerprint}; the persisted identity no longer matches"
+                )
+            if shard.stream is not None:
+                continue
+            engine = shard.stream_engine(self.pool.schema_for(spec))
+            try:
+                self.durability.attach(shard, engine, spec)
+            except Exception:
+                shard.stream = None
+                raise
+            recovered += 1
+        return recovered
+
+    def shard_fingerprints(self) -> list:
+        """Fingerprints of the shards this worker currently holds."""
+        return [s.key.fingerprint for s in self.pool.shards()]
+
+    def healthz(self) -> dict:
+        payload = super().healthz()
+        payload["worker_id"] = self.worker_config.worker_id
+        return payload
+
+
+class WorkerHTTPServer(ServiceHTTPServer):
+    """The service front end plus ``/cluster/*`` control routes + heartbeat.
+
+    Control routes (all JSON):
+
+    * ``GET /cluster/info`` — worker id and full shard fingerprints (what
+      the router's ownership gauge and rebalancer consume),
+    * ``POST /cluster/drain`` ``{"fingerprint": ...}`` — drain one shard,
+      checkpoint it and evict it (the handoff primitive; the next owner
+      recovers it from the shared data dir),
+    * ``GET /cluster/streams/<fingerprint>`` — the stream's masked report
+      signature and cleaned table (recovery-equivalence assertions).
+    """
+
+    def __init__(
+        self,
+        service: WorkerService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ):
+        super().__init__(service, host, port)
+        self._heartbeat_task: Optional[asyncio.Task] = None
+
+    @property
+    def worker_config(self) -> WorkerConfig:
+        return self.service.worker_config
+
+    async def start(self) -> "WorkerHTTPServer":
+        await super().start()
+        if self.worker_config.router:
+            self._heartbeat_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop(), name="worker-heartbeat"
+            )
+        return self
+
+    async def stop(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat_task
+            self._heartbeat_task = None
+        await super().stop()
+
+    # ------------------------------------------------------------------
+    # cluster routes
+    # ------------------------------------------------------------------
+    async def _dispatch_extra(self, method, path, body, headers):
+        if path == "/cluster/info" and method == "GET":
+            return 200, self._info(), {}
+        if path == "/cluster/drain" and method == "POST":
+            return await self._drain(body)
+        if path.startswith("/cluster/streams/") and method == "GET":
+            return await self._stream_state(path[len("/cluster/streams/"):])
+        if path.startswith("/cluster/"):
+            return 404, _error_payload("not_found", f"no route {method} {path}"), {}
+        return None
+
+    def _info(self) -> dict:
+        # healthz first: its summary "shards" count must not clobber the
+        # full fingerprint list the router's rebalancer consumes
+        return {
+            **self.service.healthz(),
+            "worker_id": self.worker_config.worker_id,
+            "host": self.host,
+            "port": self.port,
+            "shards": self.service.shard_fingerprints(),
+        }
+
+    async def _drain(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, _error_payload("bad_json", f"not JSON: {exc}"), {}
+        fingerprint = payload.get("fingerprint") if isinstance(payload, dict) else None
+        if not isinstance(fingerprint, str) or not fingerprint:
+            return 400, _error_payload("bad_request", "'fingerprint' is required"), {}
+        released = await self.service.release_shard(fingerprint)
+        return 200, {"released": released, "fingerprint": fingerprint}, {}
+
+    async def _stream_state(self, fingerprint: str):
+        shard = next(
+            (
+                s
+                for s in self.service.pool.shards()
+                if s.key.fingerprint == fingerprint
+            ),
+            None,
+        )
+        if shard is None or shard.stream is None:
+            return 404, _error_payload(
+                "unknown_stream", f"no live stream for shard {fingerprint!r}"
+            ), {}
+        engine = shard.stream
+        loop = asyncio.get_running_loop()
+
+        def build() -> dict:
+            from repro.core.report import table_to_json_dict
+
+            report = engine.report()
+            return {
+                "fingerprint": fingerprint,
+                "shard": shard.key.label,
+                "ticks": engine.batches_applied,
+                "tuples": len(engine),
+                "signature": report_signature(report),
+                "cleaned": table_to_json_dict(engine.cleaned),
+            }
+
+        payload = await loop.run_in_executor(self.service._executor, build)
+        return 200, payload, {}
+
+    # ------------------------------------------------------------------
+    # heartbeat
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        router_host, _, router_port = self.worker_config.router.rpartition(":")
+        interval = self.worker_config.heartbeat_interval
+        while True:
+            try:
+                await http_json(
+                    router_host or "127.0.0.1",
+                    int(router_port),
+                    "POST",
+                    "/cluster/heartbeat",
+                    payload=self._info(),
+                    timeout=max(interval, 1.0),
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                # the router being briefly away is normal (rolling restarts);
+                # keep beating, membership recovers on the next success
+                pass
+            await asyncio.sleep(interval)
+
+
+async def serve_worker(
+    host: str,
+    port: int,
+    worker_config: WorkerConfig,
+    service_config: Optional[ServiceConfig] = None,
+    drain_timeout: float = 30.0,
+) -> None:
+    """Run one worker until SIGTERM/SIGINT, then drain, checkpoint and exit.
+
+    Reuses the service's :func:`~repro.service.http.serve` loop — boot
+    recovery, heartbeats and the ``/cluster/*`` routes come from the worker
+    subclasses passed into it; graceful shutdown (drain + WAL flush + final
+    snapshots) comes from the service's drain path.
+    """
+    from repro.service.http import serve
+
+    service = WorkerService(worker_config, service_config)
+    http = WorkerHTTPServer(service, host, port)
+    await serve(
+        host,
+        port,
+        service=service,
+        http_server=http,
+        drain_timeout=drain_timeout,
+    )

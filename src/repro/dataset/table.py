@@ -159,6 +159,12 @@ class Table:
         """Rows in insertion order."""
         return list(self._rows.values())
 
+    def reserve_tids(self, next_tid: int) -> None:
+        """Advance the tid allocator so ids below ``next_tid`` are never
+        auto-assigned again (snapshot restore re-arms the allocator of a
+        table whose highest-id rows were already evicted)."""
+        self._next_tid = max(self._next_tid, int(next_tid))
+
     @property
     def attributes(self) -> list[str]:
         """Attribute names of the schema."""

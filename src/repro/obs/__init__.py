@@ -74,6 +74,28 @@ RUNS_TOTAL = REGISTRY.counter(
     ("backend",),
 )
 
+#: latency of the WAL fsync that gates every delta acknowledgement — the
+#: durability tax of the cluster's write path (buckets sized for fsync:
+#: sub-millisecond on NVMe through tens of milliseconds on shared disks)
+WAL_FSYNC_SECONDS = REGISTRY.histogram(
+    "repro_wal_fsync_seconds",
+    "wall-clock seconds per write-ahead-log append + fsync",
+    buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0),
+)
+
+#: deltas replayed from WAL tails during shard recovery
+RECOVERY_REPLAYED_DELTAS = REGISTRY.counter(
+    "repro_recovery_replayed_deltas_total",
+    "deltas replayed from write-ahead-log tails during shard recovery",
+)
+
+#: shard recoveries performed, by how the state came back
+RECOVERY_RUNS = REGISTRY.counter(
+    "repro_recovery_runs_total",
+    "shard recoveries, by source of the recovered state",
+    ("source",),
+)
+
 
 def get_registry() -> MetricsRegistry:
     """The process-default :class:`MetricsRegistry`."""
@@ -162,9 +184,12 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RECOVERY_REPLAYED_DELTAS",
+    "RECOVERY_RUNS",
     "REGISTRY",
     "RUNS_TOTAL",
     "STAGE_SECONDS",
+    "WAL_FSYNC_SECONDS",
     "Span",
     "Tracer",
     "current_tracer",

@@ -49,6 +49,12 @@ def main(argv=None) -> int:
         help="trace every job; write one Chrome trace_event JSON per "
         "finished job into this directory",
     )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a graceful SIGTERM/SIGINT shutdown waits for queued jobs",
+    )
 
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
@@ -67,7 +73,9 @@ def main(argv=None) -> int:
         config.trace_dir,
     )
     try:
-        asyncio.run(serve(args.host, args.port, config))
+        asyncio.run(
+            serve(args.host, args.port, config, drain_timeout=args.drain_timeout)
+        )
     except KeyboardInterrupt:
         pass
     return 0

@@ -18,39 +18,99 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 
 class ServiceError(RuntimeError):
     """A non-2xx response, with the server's structured JSON attached."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(
+        self, status: int, payload: dict, retry_after: Optional[float] = None
+    ):
         error = payload.get("error", {}) if isinstance(payload, dict) else {}
         message = error.get("message") or json.dumps(payload)[:500]
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload
+        #: the server's ``Retry-After`` hint in seconds (503 responses)
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Blocking JSON client for one service endpoint."""
+    """Blocking JSON client for one service endpoint.
+
+    ``retries`` (opt-in, default 0) makes the client ride out transient
+    unavailability: 503 responses (overload, draining, a cluster rebalance
+    in flight) and connection failures (a worker restarting after a crash)
+    are retried with bounded exponential backoff — ``backoff * 2**attempt``
+    capped at ``max_backoff``, floored at the server's ``Retry-After`` hint
+    when one was sent, plus up to ``jitter`` fractional randomization so a
+    herd of clients does not retry in lockstep.  400s and genuine 500s are
+    never retried.  ``sleep`` and ``rng`` are injectable for deterministic
+    tests (a fake clock asserts the exact schedule).
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8080,
         timeout: float = 600.0,
+        retries: int = 0,
+        backoff: float = 0.25,
+        max_backoff: float = 8.0,
+        jitter: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = rng or random.Random()
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
-        """One HTTP exchange; raises :class:`ServiceError` on non-2xx."""
+        """One HTTP exchange; raises :class:`ServiceError` on non-2xx.
+
+        With ``retries`` configured, 503s and connection errors are retried
+        on the backoff schedule documented on the class; the final attempt's
+        error propagates unchanged.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if exc.status != 503 or attempt >= self.retries:
+                    raise
+                self._sleep(self.retry_delay(attempt, exc.retry_after))
+            except ConnectionError:
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self.retry_delay(attempt, None))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def retry_delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """The backoff before retry number ``attempt + 1`` (0-based)."""
+        delay = min(self.max_backoff, self.backoff * (2**attempt))
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        if self.jitter:
+            delay *= 1.0 + self._rng.random() * self.jitter
+        return delay
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -62,7 +122,12 @@ class ServiceClient:
             raw = response.read()
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
             if response.status >= 400:
-                raise ServiceError(response.status, decoded)
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    response.status,
+                    decoded,
+                    retry_after=float(retry_after) if retry_after else None,
+                )
             return decoded
         finally:
             connection.close()

@@ -283,6 +283,61 @@ def decode_delta_request(payload: object) -> DeltaRequestSpec:
     return spec
 
 
+def delta_routing_payload(spec: DeltaRequestSpec) -> dict:
+    """The wire-shape *stream identity* of a delta spec, without its deltas.
+
+    The cluster worker persists this next to each shard's WAL so a restart
+    can rebuild the shard's session — rules, config overrides, window — and
+    re-attach its durable state before any traffic arrives.  Round-trips
+    through :func:`decode_delta_routing`.  Only wire-expressible specs are
+    supported; an in-process spec carrying a full ``config`` object must
+    route through ``config_overrides`` instead.
+    """
+    if spec.config is not None:
+        raise ValueError(
+            "delta specs with an inline MLNCleanConfig are not wire-expressible; "
+            "use config_overrides"
+        )
+    payload: dict = {"seed": spec.seed}
+    if spec.workload is not None:
+        payload["workload"] = spec.workload
+        if spec.tuples is not None:
+            payload["tuples"] = spec.tuples
+    else:
+        from repro.constraints.parser import rules_to_strings
+
+        payload["rules"] = rules_to_strings(spec.rules or [])
+        payload["schema"] = list(spec.schema or [])
+    if spec.config_overrides:
+        payload["config"] = dict(spec.config_overrides)
+    if spec.window is not None:
+        payload["window"] = normalize_window_spec(spec.window)
+    return payload
+
+
+def decode_delta_routing(payload: object) -> DeltaRequestSpec:
+    """A :func:`delta_routing_payload` document → a routable (empty) spec.
+
+    The spec carries no deltas and skips delta validation — it exists so
+    ``SessionPool.route`` can rebuild the shard it identifies.
+    """
+    data = _require_dict(payload, "the routing payload")
+    schema = data.get("schema")
+    if schema is not None and (
+        not isinstance(schema, list) or not all(isinstance(a, str) for a in schema)
+    ):
+        raise BadRequestError("'schema' must be a list of attribute names")
+    return DeltaRequestSpec(
+        workload=data.get("workload"),
+        tuples=_number(data, "tuples", int, None),
+        seed=_number(data, "seed", int, 7),
+        rules=_decode_rules(data),
+        schema=schema,
+        config_overrides=_decode_overrides(data),
+        window=data.get("window"),
+    )
+
+
 # ----------------------------------------------------------------------
 # ground-truth codec (inline instrumented requests)
 # ----------------------------------------------------------------------

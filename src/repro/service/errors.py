@@ -34,6 +34,18 @@ class ServiceOverloadedError(RuntimeError):
         self.max_pending = max_pending
 
 
+class ServiceDrainingError(RuntimeError):
+    """The service is draining for shutdown or handoff (HTTP 503).
+
+    New submissions are refused while queued jobs finish and shard state is
+    checkpointed; a retrying client (``ServiceClient(retries=...)``) rides
+    it out, landing on the restarted worker or the shard's new owner.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; retry later")
+
+
 class PoolExhaustedError(RuntimeError):
     """Too many distinct warm shards; shed the request (HTTP 503).
 

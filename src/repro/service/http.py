@@ -23,8 +23,10 @@ with ``Retry-After``, and only genuine bugs surface as ``500``.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import logging
+import signal
 import threading
 from typing import Optional
 
@@ -32,6 +34,7 @@ from repro.service.codec import decode_clean_request, decode_delta_request
 from repro.service.errors import (
     BadRequestError,
     PoolExhaustedError,
+    ServiceDrainingError,
     ServiceOverloadedError,
 )
 from repro.service.jobs import JobStatus
@@ -101,9 +104,9 @@ class ServiceHTTPServer:
             if parsed is None:
                 writer.close()
                 return
-            method, path, body = parsed
+            method, path, body, headers = parsed
             status, payload, extra_headers = await self._dispatch(
-                method, path, body
+                method, path, body, headers
             )
         except asyncio.IncompleteReadError:
             writer.close()
@@ -149,7 +152,7 @@ class ServiceHTTPServer:
         if length > MAX_BODY_BYTES:
             raise _PayloadTooLarge()
         body = await reader.readexactly(length) if length > 0 else b""
-        return method, path, body
+        return method, path, body, headers
 
     @staticmethod
     async def _write_response(
@@ -180,7 +183,13 @@ class ServiceHTTPServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, headers: Optional[dict] = None
+    ):
+        headers = headers or {}
+        extra = await self._dispatch_extra(method, path.split("?", 1)[0], body, headers)
+        if extra is not None:
+            return extra
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return 200, self.service.healthz(), {}
@@ -196,10 +205,17 @@ class ServiceHTTPServer:
         if path in ("/clean", "/deltas"):
             if method != "POST":
                 return 405, _error_payload("method_not_allowed", f"{path} is POST-only"), {}
-            return await self._submit(path, body)
+            return await self._submit(path, body, headers)
         return 404, _error_payload("not_found", f"no route {method} {path}"), {}
 
-    async def _submit(self, path: str, body: bytes):
+    async def _dispatch_extra(
+        self, method: str, path: str, body: bytes, headers: dict
+    ):
+        """Subclass hook for additional routes (the cluster worker's
+        ``/cluster/*`` endpoints); None means "not mine"."""
+        return None
+
+    async def _submit(self, path: str, body: bytes, headers: Optional[dict] = None):
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -214,12 +230,13 @@ class ServiceHTTPServer:
         default_seed = self.service.config.default_seed
         if default_seed is not None and "seed" not in payload:
             payload["seed"] = default_seed
+        request_id = (headers or {}).get("x-repro-request-id")
         try:
             if path == "/clean":
                 spec = decode_clean_request(payload)
             else:
                 spec = decode_delta_request(payload)
-            job = await self.service.submit(spec)
+            job = await self.service.submit(spec, request_id=request_id)
         except BadRequestError as exc:
             return 400, _error_payload("bad_request", str(exc)), {}
         except KeyError as exc:
@@ -229,6 +246,8 @@ class ServiceHTTPServer:
             return 400, _error_payload("unknown_name", str(message)), {}
         except ServiceOverloadedError as exc:
             return 503, _error_payload("overloaded", str(exc)), {"Retry-After": "1"}
+        except ServiceDrainingError as exc:
+            return 503, _error_payload("draining", str(exc)), {"Retry-After": "1"}
         except PoolExhaustedError as exc:
             return 503, _error_payload("pool_exhausted", str(exc)), {"Retry-After": "1"}
         if wait:
@@ -258,15 +277,40 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     config: Optional[ServiceConfig] = None,
+    service: Optional[CleaningService] = None,
+    http_server: Optional[ServiceHTTPServer] = None,
+    drain_timeout: float = 30.0,
 ) -> None:
-    """Run a service + front end until cancelled (the ``serve`` CLI)."""
-    service = CleaningService(config)
+    """Run a service + front end until SIGTERM/SIGINT, then drain and exit.
+
+    Graceful shutdown: the first signal flips the service into draining
+    (new submissions answer 503), queued jobs run to completion (bounded by
+    ``drain_timeout``), shard state is checkpointed — the cluster worker's
+    durability layer flushes its WALs and writes final snapshots here —
+    and only then does the coroutine return, letting the process exit 0.
+    A second signal skips the drain.  ``service`` / ``http_server`` let the
+    cluster worker reuse this loop with its own subclasses.
+    """
+    service = service or CleaningService(config)
     await service.start()
-    http = ServiceHTTPServer(service, host, port)
+    http = http_server or ServiceHTTPServer(service, host, port)
     await http.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
     try:
-        await asyncio.Event().wait()  # until cancelled from outside
+        await stop.wait()
+        log.info("shutdown signal received; draining (%d pending)", service.pending)
+        await service.drain(timeout=drain_timeout)
+        log.info("drained; shutting down")
     finally:
+        for signum in installed:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signum)
         await http.stop()
         await service.stop()
 

@@ -60,6 +60,9 @@ class Job:
     #: who caused a failure: "bad_request" (the client's deltas/inputs) or
     #: "internal" (a genuine bug) — decides the front end's 400 vs 500
     error_kind: Optional[str] = None
+    #: caller-supplied correlation id (the cluster router's request id),
+    #: echoed back so spans stitch across processes
+    request_id: Optional[str] = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
 
     @property
@@ -96,6 +99,8 @@ class Job:
         }
         if self.duration is not None:
             payload["duration_s"] = round(self.duration, 6)
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
         if self.error is not None:
             payload["error"] = self.error
             payload["error_kind"] = self.error_kind or "internal"

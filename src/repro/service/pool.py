@@ -266,6 +266,25 @@ class SessionPool:
         return generator.build().clean.attributes
 
     # ------------------------------------------------------------------
+    # eviction (shard handoff)
+    # ------------------------------------------------------------------
+    def evict(self, key: ShardKey) -> bool:
+        """Drop one shard and its routing memo entries (cluster handoff).
+
+        The caller is responsible for having drained the shard first; the
+        pool only forgets it, so the next request with this identity builds
+        a fresh shard (possibly on another worker, recovered from its
+        snapshot + WAL).
+        """
+        with self._lock:
+            removed = self._shards.pop(key, None) is not None
+            if removed:
+                stale = [m for m, k in self._route_memo.items() if k == key]
+                for memo_key in stale:
+                    del self._route_memo[memo_key]
+        return removed
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def shards(self) -> list:

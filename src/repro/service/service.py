@@ -49,7 +49,7 @@ from repro.service.codec import (
     DeltaRequestSpec,
     report_signature,
 )
-from repro.service.errors import ServiceOverloadedError
+from repro.service.errors import ServiceDrainingError, ServiceOverloadedError
 from repro.service.jobs import Job, JobStore
 from repro.service.pool import SessionPool, Shard
 
@@ -95,6 +95,9 @@ class _ShardRuntime:
         self.shard = shard
         self.queue: asyncio.Queue = asyncio.Queue()
         self.task: Optional[asyncio.Task] = None
+        #: jobs dequeued by the worker and not yet finalized (the queue
+        #: alone cannot tell "idle" from "mid-tick"; shard handoff needs to)
+        self.inflight = 0
 
 
 class CleaningService:
@@ -110,6 +113,15 @@ class CleaningService:
         self._pending = 0
         self._started_at: Optional[float] = None
         self._running = False
+        self._draining = False
+        #: optional durability hooks (duck-typed; the cluster's
+        #: :class:`repro.cluster.ShardDurability` is the one implementation):
+        #: ``attach(shard, engine, spec)`` right after a shard's streaming
+        #: engine is created (recovery replays into it there),
+        #: ``log_tick(shard, batch, report)`` after a successful apply and
+        #: *before* the jobs are acknowledged, ``checkpoint(shard)`` on
+        #: drain/handoff.  None = the single-process service, no durability.
+        self.durability = None
         #: service-scoped instruments (one registry per instance, so two
         #: services in one process do not mix their job counters); the
         #: process-wide :data:`repro.obs.REGISTRY` is appended at scrape time
@@ -184,6 +196,68 @@ class CleaningService:
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    async def drain(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful quiesce: refuse new work, finish queued jobs, checkpoint.
+
+        After this returns every queued job has finished (or ``timeout``
+        expired), and — when a durability layer is attached — every live
+        streaming shard has flushed its WAL and written a final snapshot.
+        Drain is one-way: the service stays started but keeps refusing new
+        submissions; call :meth:`stop` afterwards to tear it down.
+        """
+        if not self._running:
+            return
+        self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._pending > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        if self.durability is not None:
+            loop = asyncio.get_running_loop()
+            for runtime in list(self._runtimes.values()):
+                if runtime.shard.stream is not None:
+                    await loop.run_in_executor(
+                        self._executor,
+                        partial(self.durability.checkpoint, runtime.shard),
+                    )
+
+    async def release_shard(self, fingerprint: str) -> bool:
+        """Drain one shard and evict it (the cluster's handoff primitive).
+
+        Waits until the shard's queue is empty and no job of it is in
+        flight, checkpoints its state (WAL flush + final snapshot when a
+        durability layer is attached), cancels its worker task and drops it
+        from the pool.  The next request routed here rebuilds the shard
+        from scratch — on another worker, recovery rebuilds it from the
+        shared snapshot + WAL.  Returns False when no such shard is live.
+        """
+        runtime = None
+        for candidate in self._runtimes.values():
+            if candidate.shard.key.fingerprint == fingerprint:
+                runtime = candidate
+                break
+        if runtime is None:
+            return False
+        while not runtime.queue.empty() or runtime.inflight:
+            await asyncio.sleep(0.02)
+        if runtime.task is not None:
+            runtime.task.cancel()
+            try:
+                await runtime.task
+            except asyncio.CancelledError:
+                pass
+        if self.durability is not None and runtime.shard.stream is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._executor, partial(self.durability.checkpoint, runtime.shard)
+            )
+        if self.durability is not None:
+            self.durability.detach(runtime.shard)
+        self._runtimes.pop(runtime.shard.key, None)
+        self.pool.evict(runtime.shard.key)
+        return True
+
     async def __aenter__(self) -> "CleaningService":
         return await self.start()
 
@@ -198,15 +272,24 @@ class CleaningService:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, spec: RequestSpec) -> Job:
+    async def submit(
+        self, spec: RequestSpec, request_id: Optional[str] = None
+    ) -> Job:
         """Route and enqueue one request; returns its :class:`Job` handle.
 
         Raises :class:`ServiceOverloadedError` when the bounded queue is
-        full, and ``KeyError`` (with the registry name listing) for unknown
-        workload / cleaner names — both *before* anything is enqueued.
+        full, :class:`ServiceDrainingError` while a graceful shutdown or
+        shard handoff is in progress, and ``KeyError`` (with the registry
+        name listing) for unknown workload / cleaner names — all *before*
+        anything is enqueued.  ``request_id`` is an optional caller-supplied
+        correlation id (the cluster router's ``X-Repro-Request-Id``); it is
+        attached to the job and its root span so one request's spans can be
+        stitched across the router and worker processes.
         """
         if not self._running:
             raise RuntimeError("the service is not running; call start() first")
+        if self._draining:
+            raise ServiceDrainingError()
         spec.validate()
         if self._pending >= self.config.max_pending:
             raise ServiceOverloadedError(self._pending, self.config.max_pending)
@@ -214,16 +297,20 @@ class CleaningService:
         runtime = self._runtime_for(shard)
         kind = "clean" if isinstance(spec, CleanRequestSpec) else "deltas"
         job = self.jobs.create(kind=kind, shard=shard.key.label)
+        job.request_id = request_id
         if self.tracer is not None:
             # the job's root span: opened at enqueue, closed at finalize, so
             # the exported tree covers queueing, dispatch and execution
-            self._job_spans[job.id] = self.tracer.begin(
+            root = self.tracer.begin(
                 "service.request",
                 parent=None,
                 job=job.id,
                 kind=kind,
                 shard=shard.key.label,
             )
+            if request_id is not None:
+                root.set(request_id=request_id)
+            self._job_spans[job.id] = root
         self._pending += 1
         runtime.queue.put_nowait((job, spec))
         return job
@@ -244,8 +331,14 @@ class CleaningService:
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
         uptime = time.monotonic() - self._started_at if self._started_at else 0.0
+        if not self._running:
+            status = "stopped"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
         return {
-            "status": "ok" if self._running else "stopped",
+            "status": status,
             "uptime_s": round(uptime, 3),
             "pending": self._pending,
             "shards": len(self.pool.shards()),
@@ -348,20 +441,24 @@ class CleaningService:
                     items.append(runtime.queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            delta_items = [
-                (job, spec)
-                for job, spec in items
-                if isinstance(spec, DeltaRequestSpec)
-            ]
-            clean_items = [
-                (job, spec)
-                for job, spec in items
-                if isinstance(spec, CleanRequestSpec)
-            ]
-            if delta_items:
-                await self._run_tick(runtime.shard, delta_items)
-            for job, spec in clean_items:
-                await self._run_clean(runtime.shard, job, spec)
+            runtime.inflight = len(items)
+            try:
+                delta_items = [
+                    (job, spec)
+                    for job, spec in items
+                    if isinstance(spec, DeltaRequestSpec)
+                ]
+                clean_items = [
+                    (job, spec)
+                    for job, spec in items
+                    if isinstance(spec, CleanRequestSpec)
+                ]
+                if delta_items:
+                    await self._run_tick(runtime.shard, delta_items)
+                for job, spec in clean_items:
+                    await self._run_clean(runtime.shard, job, spec)
+            finally:
+                runtime.inflight = 0
 
     def _traced(
         self, parent: Optional[Span], name: str, attrs: dict, fn: Callable
@@ -473,6 +570,16 @@ class CleaningService:
             # the schema lookup can build a (1-tuple) workload instance, so
             # resolve it only for the tick that actually creates the engine
             engine = shard.stream_engine(self.pool.schema_for(specs[0]))
+            if self.durability is not None:
+                try:
+                    # recovery happens inside attach: snapshot restore + WAL
+                    # tail replay into the freshly created engine
+                    self.durability.attach(shard, engine, specs[0])
+                except Exception:
+                    # leave no half-recovered engine behind; the next tick
+                    # recreates one and re-attempts recovery
+                    shard.stream = None
+                    raise
         else:
             engine = shard.stream
         plan = plan_tick([spec.deltas for spec in specs])
@@ -480,6 +587,10 @@ class CleaningService:
             batch_report = engine.apply_batch(plan.batch)
         except (KeyError, ValueError):
             return self._execute_per_request(shard, engine, specs)
+        if self.durability is not None:
+            # fsynced before any folded job is acknowledged: an acked delta
+            # batch survives kill -9
+            self.durability.log_tick(shard, plan.batch, batch_report)
         shard.ticks += 1
         shard.coalesced_requests += len(specs)
         return [
@@ -508,6 +619,10 @@ class CleaningService:
                     }
                 )
                 continue
+            if self.durability is not None:
+                # each surviving request became its own engine tick, so it
+                # gets its own WAL record — replay retraces this exact path
+                self.durability.log_tick(shard, spec.deltas, report)
             shard.ticks += 1
             shard.coalesced_requests += 1
             results.append(
