@@ -1,0 +1,323 @@
+"""CI chaos driver: seeded fault injection against a real cluster.
+
+The robustness acceptance criterion, end to end:
+
+1. **Recoverable chaos.** A router plus two workers run under a *seeded*
+   :class:`~repro.faults.FaultPlan` — a WAL fsync failure (degraded mode +
+   probe recovery), dropped and duplicated router→worker delta calls (lost
+   acks and retransmits, deduplicated through idempotency keys), stalled
+   heartbeats (a network flap shorter than ``dead_after``) and slow-disk
+   fsync delays.  All four registered workloads stream their delta
+   micro-batches through a retrying client; every stream must end with a
+   masked ``report_signature`` — and a cleaned table — byte-identical to an
+   uninterrupted in-process engine.
+2. **Unrecoverable damage fails loudly.** A standalone worker is
+   ``kill -9``'d, one byte in the *middle* of its WAL is flipped, and the
+   restarted worker must refuse to serve (non-zero exit), never silently
+   continue from corrupt acknowledged history.
+
+Artifacts: the fault schedule (``--plan-out``), the router's merged
+``/stats`` fan-in (``--out``) and per-job traces (``--trace-dir``).
+
+Usage::
+
+    python benchmarks/chaos_smoke.py --seed 11 \\
+        --out chaos-stats.json --plan-out chaos-plan.json \\
+        --trace-dir chaos-traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import struct
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cluster.launch import (
+    spawn_router,
+    spawn_worker,
+    wait_for_workers,
+    wait_until_healthy,
+)
+from repro.experiments.harness import prepare_instance
+from repro.faults import FaultPlan, FaultRule
+from repro.service import ServiceClient, ServiceError, report_signature
+from repro.service.codec import canonical_json
+from repro.streaming import DeltaBatch, Insert, StreamingMLNClean
+from repro.streaming.window import SlidingWindow
+from repro.workloads.registry import get_workload_generator, recommended_config
+
+#: every registered workload and the window (if any) its stream runs
+WORKLOADS = {
+    "hospital-sample": {"kind": "sliding", "size": 24},
+    "hai": None,
+    "car": None,
+    "tpch": None,
+}
+TUPLES = 32
+BATCH = 8
+
+
+def build_plan(seed: int) -> FaultPlan:
+    """The seeded schedule of *recoverable* faults (see the module doc)."""
+    return FaultPlan(seed=seed, rules=(
+        # one WAL fsync refused per worker: degraded mode + probe recovery
+        FaultRule(point="wal.fsync", action="fail", nth=4, times=1),
+        # a lost acknowledgement: the exchange happens, the response dies
+        FaultRule(point="httpclient.request", action="drop",
+                  match={"path": "/deltas"}, nth=3, times=1),
+        # a retransmitted request: the worker must deduplicate it
+        FaultRule(point="httpclient.request", action="duplicate",
+                  match={"path": "/deltas"}, nth=6, times=1),
+        # a network flap: two heartbeats swallowed (shorter than dead_after)
+        FaultRule(point="worker.heartbeat", action="stall", nth=2, times=2),
+        # a slow disk: periodic fsync latency, correctness unaffected
+        FaultRule(point="wal.fsync", action="delay", delay_s=0.05, every=7),
+    ))
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def workload_batches(workload: str):
+    instance = prepare_instance(workload, tuples=TUPLES)
+    schema = instance.dirty.attributes
+    rows = list(instance.dirty.rows)
+    return schema, [
+        [
+            Insert(values={a: r[a] for a in schema}, tid=r.tid)
+            for r in rows[i:i + BATCH]
+        ]
+        for i in range(0, len(rows), BATCH)
+    ]
+
+
+def reference_state(workload: str, schema, batches) -> tuple:
+    """(signature, canonical cleaned table) of an uninterrupted engine."""
+    from repro.core.report import table_to_json_dict
+
+    generator = get_workload_generator(workload, tuples=TUPLES, seed=7)
+    window_spec = WORKLOADS[workload]
+    engine = StreamingMLNClean(
+        generator.rules(),
+        schema=schema,
+        config=recommended_config(workload),
+        window=SlidingWindow(window_spec["size"]) if window_spec else None,
+    )
+    for deltas in batches:
+        engine.apply_batch(DeltaBatch(list(deltas)))
+    return (
+        report_signature(engine.report()),
+        canonical_json(table_to_json_dict(engine.cleaned)),
+    )
+
+
+def run_recoverable_phase(args, plan: FaultPlan) -> int:
+    failures = 0
+    data_dir = tempfile.mkdtemp(prefix="chaos-smoke-")
+    router_port = free_port()
+    worker_ports = {"w1": free_port(), "w2": free_port()}
+    plan_json = plan.to_json()
+    router = spawn_router(
+        router_port, rebalance_interval=0.5, dead_after=2.0, fault_plan=plan_json
+    )
+    workers = {
+        worker_id: spawn_worker(
+            port,
+            worker_id,
+            data_dir,
+            router=f"127.0.0.1:{router_port}",
+            snapshot_every=100,
+            trace_dir=args.trace_dir,
+            fault_plan=plan_json,
+        )
+        for worker_id, port in worker_ports.items()
+    }
+    procs = [router, *workers.values()]
+    try:
+        wait_for_workers(router_port, 2)
+        client = ServiceClient(
+            port=router_port, timeout=600, retries=12, backoff=0.25, max_backoff=2.0
+        )
+        print(
+            f"cluster up under fault plan (seed={plan.seed}, "
+            f"{len(plan.rules)} rules): router :{router_port}, "
+            f"workers {worker_ports}"
+        )
+
+        references = {}
+        for workload, window in WORKLOADS.items():
+            schema, batches = workload_batches(workload)
+            references[workload] = reference_state(workload, schema, batches)
+            for deltas in batches:
+                wire = [
+                    {"op": "insert", "values": dict(d.values), "tid": d.tid}
+                    for d in deltas
+                ]
+                fields = {"workload": workload, "seed": 7, "include_table": False}
+                if window:
+                    fields["window"] = dict(window)
+                # the retrying client generates idempotency keys, so the
+                # injected drops/duplicates cannot double-apply a batch
+                job = client.deltas(wire, **fields)
+                if job["status"] != "done":
+                    print(
+                        f"FAIL: {workload} delta job {job['id']} ended "
+                        f"{job['status']}: {job.get('error')}"
+                    )
+                    failures += 1
+            print(f"streamed {len(batches)} micro-batches of {workload}")
+
+        # collect every live stream's recovered state from both workers
+        states = []
+        for worker_id, port in worker_ports.items():
+            worker_client = ServiceClient(port=port)
+            info = worker_client.request("GET", "/cluster/info")
+            for fingerprint in info["shards"]:
+                try:
+                    state = worker_client.request(
+                        "GET", f"/cluster/streams/{fingerprint}"
+                    )
+                except ServiceError:
+                    continue
+                states.append(state)
+
+        for workload, (signature, cleaned) in references.items():
+            matches = [s for s in states if s["signature"] == signature]
+            if not matches:
+                print(
+                    f"FAIL: no stream matches the fault-free signature of "
+                    f"{workload} ({signature[:12]}…)"
+                )
+                failures += 1
+                continue
+            if any(canonical_json(s["cleaned"]) != cleaned for s in matches):
+                print(f"FAIL: {workload} cleaned table drifted under faults")
+                failures += 1
+                continue
+            print(
+                f"{workload}: signature byte-identical under seeded faults "
+                f"({signature[:12]}…)"
+            )
+
+        # prove the schedule actually fired: the merged metrics fan-in
+        # carries each process's repro_faults_injected_total series
+        import http.client as http_client
+
+        conn = http_client.HTTPConnection("127.0.0.1", router_port, timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            metrics = conn.getresponse().read().decode("utf-8")
+        finally:
+            conn.close()
+        fault_lines = [
+            line for line in metrics.splitlines()
+            if line.startswith("repro_faults_injected_total{")
+        ]
+        if not fault_lines:
+            print("FAIL: no faults were injected — the plan never armed")
+            failures += 1
+        else:
+            print("injected faults (merged metrics):")
+            for line in sorted(fault_lines):
+                print(f"  {line}")
+
+        stats = client.stats()
+        stats["chaos"] = {
+            "plan": json.loads(plan.to_json()),
+            "faults_fired": sorted(fault_lines),
+        }
+        Path(args.out).write_text(json.dumps(stats, indent=1) + "\n", encoding="utf-8")
+        print(f"merged /stats snapshot written to {args.out}")
+        return failures
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.wait()
+
+
+def run_unrecoverable_phase() -> int:
+    """Mid-log WAL corruption must refuse recovery, loudly."""
+    failures = 0
+    data_dir = Path(tempfile.mkdtemp(prefix="chaos-corrupt-"))
+    port = free_port()
+    proc = spawn_worker(port, "w1", data_dir, snapshot_every=100)
+    try:
+        wait_until_healthy(port)
+        client = ServiceClient(port=port)
+        _schema, batches = workload_batches("hai")
+        for deltas in batches[:3]:
+            wire = [
+                {"op": "insert", "values": dict(d.values), "tid": d.tid}
+                for d in deltas
+            ]
+            job = client.deltas(wire, workload="hai", seed=7, include_table=False)
+            if job["status"] != "done":
+                print(f"FAIL: pre-corruption delta job ended {job['status']}")
+                failures += 1
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    wal_path = next((data_dir / "shards").glob("*/wal.log"))
+    raw = bytearray(wal_path.read_bytes())
+    # flip one payload byte of the FIRST record: acknowledged history is
+    # damaged while later frames stay intact — not a truncatable torn tail
+    raw[len(b"RWAL1\n") + struct.calcsize(">II") + 4] ^= 0xFF
+    wal_path.write_bytes(bytes(raw))
+    print(f"flipped one mid-log byte in {wal_path}")
+
+    proc = spawn_worker(free_port(), "w1", data_dir, snapshot_every=100)
+    try:
+        code = proc.wait(timeout=60)
+    except Exception:
+        proc.kill()
+        proc.wait()
+        print("FAIL: worker kept running over a corrupt WAL")
+        return failures + 1
+    if code == 0:
+        print("FAIL: worker exited 0 despite a corrupt WAL")
+        failures += 1
+    else:
+        print(f"worker refused the corrupt WAL (exit code {code}) — failing loudly")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default="chaos-stats.json")
+    parser.add_argument("--plan-out", default="chaos-plan.json")
+    parser.add_argument("--trace-dir", default=None)
+    args = parser.parse_args(argv)
+
+    plan = build_plan(args.seed)
+    Path(args.plan_out).write_text(plan.to_json() + "\n", encoding="utf-8")
+    print(f"fault schedule written to {args.plan_out}")
+
+    failures = run_recoverable_phase(args, plan)
+    failures += run_unrecoverable_phase()
+    if failures:
+        print(f"{failures} chaos check(s) FAILED")
+    else:
+        print("chaos smoke passed: recoverable faults converged byte-identically, "
+              "unrecoverable corruption failed loudly")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

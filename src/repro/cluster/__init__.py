@@ -24,6 +24,7 @@ Run it::
 
 from __future__ import annotations
 
+from repro.cluster.breaker import CircuitBreaker
 from repro.cluster.ring import HashRing
 from repro.cluster.router import (
     RouterConfig,
@@ -34,6 +35,7 @@ from repro.cluster.router import (
 from repro.cluster.snapshot import (
     SnapshotError,
     load_snapshot,
+    load_snapshot_document,
     write_snapshot,
 )
 from repro.cluster.wal import DeltaLog, WalCorruptionError, WalRecord
@@ -47,6 +49,7 @@ from repro.cluster.worker import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "DeltaLog",
     "HashRing",
     "RecoveryError",
@@ -61,6 +64,7 @@ __all__ = [
     "WorkerHTTPServer",
     "WorkerService",
     "load_snapshot",
+    "load_snapshot_document",
     "serve_router",
     "serve_worker",
     "write_snapshot",

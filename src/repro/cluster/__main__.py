@@ -20,11 +20,25 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import os
 
 from repro.cli import common_parent, configure_logging
 from repro.cluster.router import RouterConfig, serve_router
 from repro.cluster.worker import WorkerConfig, serve_worker
+from repro.faults import PLAN_ENV_VAR, activate_from_env
 from repro.service.service import ServiceConfig
+
+
+def _fault_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON_OR_PATH",
+        help="seeded fault-injection plan (inline JSON or a file path); "
+        f"equivalent to setting ${PLAN_ENV_VAR}",
+    )
+    return parent
 
 
 def main(argv=None) -> int:
@@ -36,7 +50,7 @@ def main(argv=None) -> int:
 
     router_cmd = commands.add_parser(
         "router",
-        parents=[common_parent()],
+        parents=[common_parent(), _fault_parent()],
         help="run the consistent-hashing front door",
     )
     router_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -56,7 +70,7 @@ def main(argv=None) -> int:
 
     worker_cmd = commands.add_parser(
         "worker",
-        parents=[common_parent()],
+        parents=[common_parent(), _fault_parent()],
         help="run one durable cleaning worker",
     )
     worker_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -110,6 +124,12 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
+
+    if args.fault_plan:
+        # late activation: the flag mirrors the env var (which subprocess
+        # workers inherit); either path arms the same process-global injector
+        os.environ[PLAN_ENV_VAR] = args.fault_plan
+        activate_from_env()
 
     if args.command == "router":
         config = RouterConfig(

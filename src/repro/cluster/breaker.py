@@ -1,0 +1,79 @@
+"""A per-worker circuit breaker for the router's forwarding path.
+
+Classic three-state machine, tuned for the router's failure signal
+(transport-level errors from :mod:`repro.cluster.httpclient`):
+
+* **closed** — forwarding normally; consecutive transport failures count up.
+* **open** — ``threshold`` consecutive failures tripped it; every
+  :meth:`allow` answers False (the router sheds with 503 + Retry-After
+  instead of hammering a sick worker) until ``reset_after`` seconds pass.
+* **half-open** — one probe request is allowed through; success closes the
+  breaker, failure re-opens it for another ``reset_after``.
+
+Any completed HTTP exchange counts as a success — a worker answering 500s
+is alive; the breaker guards reachability, not correctness.  The clock is
+injectable so tests drive the state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: gauge encoding of the state (the ``repro_breaker_state`` metric)
+STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        reset_after: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("the breaker needs threshold >= 1")
+        if reset_after <= 0:
+            raise ValueError("the breaker needs reset_after > 0")
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float = 0.0
+        self._state = "closed"
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (time-advanced on read)."""
+        if self._state == "open" and self._clock() - self._opened_at >= self.reset_after:
+            self._state = "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request go to this worker right now?
+
+        In half-open this *consumes* the probe slot: the caller that got
+        True carries the probe, everyone else stays shed until its verdict.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half_open":
+            # re-arm the open timer so a second caller cannot also probe
+            # before the first probe's verdict lands
+            self._state = "open"
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.threshold or self._state == "open":
+            self._state = "open"
+            self._opened_at = self._clock()

@@ -13,8 +13,13 @@ import asyncio
 import json
 from typing import Optional
 
+from repro.faults import INJECTOR, InjectedConnectionError
+
 #: response bodies beyond this are refused (mirrors the server's bound)
 MAX_RESPONSE_BYTES = 64 * 1024 * 1024
+
+#: total response-header bytes before the peer is treated as broken
+MAX_HEADER_BYTES = 64 * 1024
 
 
 async def http_request(
@@ -28,14 +33,52 @@ async def http_request(
 ) -> tuple[int, dict, bytes]:
     """One HTTP exchange; returns ``(status, headers, body)``.
 
-    Raises ``ConnectionError`` when the peer is unreachable or hangs up
-    mid-response, and ``asyncio.TimeoutError`` past ``timeout`` — callers
-    (the router) map both onto "worker is down".
+    Raises ``ConnectionError`` when the peer is unreachable, hangs up
+    mid-response or sends oversized headers, and ``asyncio.TimeoutError``
+    past ``timeout`` — callers (the router) map both onto "worker is down".
     """
     return await asyncio.wait_for(
-        _http_request(host, port, method, path, body, headers),
+        _with_faults(host, port, method, path, body, headers),
         timeout=timeout,
     )
+
+
+async def _with_faults(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes,
+    headers: Optional[dict],
+) -> tuple[int, dict, bytes]:
+    """The injection shim around one exchange (a no-op without a plan).
+
+    Actions at the ``httpclient.request`` point: ``fail`` refuses before
+    anything is sent; ``delay`` sleeps first (so the caller's ``timeout``
+    can expire); ``duplicate`` performs the exchange twice (a retransmitted
+    request — the server must dedupe); ``drop`` performs the exchange and
+    then discards the response (the server did the work, the caller sees a
+    lost ack and will retry).
+    """
+    if not INJECTOR.active:
+        return await _http_request(host, port, method, path, body, headers)
+    decision = INJECTOR.decide(
+        "httpclient.request", host=host, port=str(port), method=method, path=path
+    )
+    if decision is None:
+        return await _http_request(host, port, method, path, body, headers)
+    if decision.action == "fail":
+        raise InjectedConnectionError(f"injected: cannot reach {host}:{port}")
+    if decision.action == "delay":
+        await asyncio.sleep(decision.delay_s)
+    if decision.action == "duplicate":
+        await _http_request(host, port, method, path, body, headers)
+    result = await _http_request(host, port, method, path, body, headers)
+    if decision.action == "drop":
+        raise InjectedConnectionError(
+            f"injected: response from {host}:{port} {path} dropped"
+        )
+    return result
 
 
 async def _http_request(
@@ -70,10 +113,22 @@ async def _http_request(
             raise ConnectionError(f"malformed status line {status_line!r}")
         status = int(parts[1])
         response_headers: dict = {}
+        header_bytes = 0
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError as exc:
+                # a single header line beyond the stream's buffer limit
+                raise ConnectionError(
+                    f"{host}:{port} sent an oversized header line"
+                ) from exc
             if line in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise ConnectionError(
+                    f"{host}:{port} response headers exceed {MAX_HEADER_BYTES} bytes"
+                )
             name, _, value = line.decode("latin-1").partition(":")
             response_headers[name.strip().lower()] = value.strip()
         length = response_headers.get("content-length")

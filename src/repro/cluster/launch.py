@@ -17,12 +17,21 @@ from pathlib import Path
 from typing import Optional, Union
 
 
-def _cluster_env() -> dict:
-    """The child environment, with ``src/`` importable like the parent."""
+def _cluster_env(fault_plan: Optional[str] = None) -> dict:
+    """The child environment, with ``src/`` importable like the parent.
+
+    ``fault_plan`` (inline JSON or a file path) is exported as
+    ``REPRO_FAULT_PLAN`` so the child process arms its fault injector at
+    import time — the chaos harness's way of reaching into subprocesses.
+    """
     env = dict(os.environ)
     src = Path(__file__).resolve().parents[2]
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else str(src)
+    if fault_plan is not None:
+        from repro.faults import PLAN_ENV_VAR
+
+        env[PLAN_ENV_VAR] = fault_plan
     return env
 
 
@@ -32,6 +41,7 @@ def spawn_router(
     dead_after: float = 3.0,
     rebalance_interval: float = 0.5,
     log_level: str = "warning",
+    fault_plan: Optional[str] = None,
     **popen_kwargs,
 ) -> subprocess.Popen:
     command = [
@@ -42,7 +52,9 @@ def spawn_router(
         "--rebalance-interval", str(rebalance_interval),
         "--log-level", log_level,
     ]
-    return subprocess.Popen(command, env=_cluster_env(), **popen_kwargs)
+    return subprocess.Popen(
+        command, env=_cluster_env(fault_plan), **popen_kwargs
+    )
 
 
 def spawn_worker(
@@ -56,6 +68,7 @@ def spawn_worker(
     drain_timeout: float = 30.0,
     trace_dir: Optional[Union[str, Path]] = None,
     log_level: str = "warning",
+    fault_plan: Optional[str] = None,
     **popen_kwargs,
 ) -> subprocess.Popen:
     command = [
@@ -73,7 +86,9 @@ def spawn_worker(
         command += ["--router", router]
     if trace_dir:
         command += ["--trace-dir", str(trace_dir)]
-    return subprocess.Popen(command, env=_cluster_env(), **popen_kwargs)
+    return subprocess.Popen(
+        command, env=_cluster_env(fault_plan), **popen_kwargs
+    )
 
 
 def wait_until_healthy(

@@ -42,8 +42,13 @@ from typing import Optional
 from repro.obs import MetricsRegistry, Tracer
 from repro.service.codec import decode_clean_request, decode_delta_request
 from repro.service.errors import BadRequestError, PoolExhaustedError
-from repro.service.http import ServiceHTTPServer, _error_payload
+from repro.service.http import (
+    ServiceHTTPServer,
+    _error_payload,
+    _parse_deadline_header,
+)
 from repro.service.pool import SessionPool
+from repro.cluster.breaker import STATE_VALUES, CircuitBreaker
 from repro.cluster.httpclient import http_json, http_request
 from repro.cluster.ring import HashRing
 
@@ -64,6 +69,10 @@ class RouterConfig:
     max_route_shards: int = 4096
     #: record ``router.route`` spans in memory (tests read them back)
     trace: bool = False
+    #: consecutive forward failures before a worker's circuit opens
+    breaker_threshold: int = 5
+    #: seconds an open circuit sheds before letting one probe through
+    breaker_reset_after: float = 2.0
 
 
 @dataclass
@@ -91,6 +100,10 @@ class RouterService:
         self.pool = SessionPool(max_shards=self.config.max_route_shards)
         self.ring = HashRing()
         self.workers: "dict[str, WorkerInfo]" = {}
+        #: worker id → circuit breaker over forward outcomes; an open
+        #: circuit answers 503 immediately instead of waiting on a worker
+        #: that keeps refusing connections
+        self.breakers: "dict[str, CircuitBreaker]" = {}
         self._started_at = time.monotonic()
         self._seq = 0
         self._nonce = uuid.uuid4().hex[:8]
@@ -168,11 +181,22 @@ class RouterService:
             return None
         return info
 
+    def _breaker(self, worker_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(worker_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                reset_after=self.config.breaker_reset_after,
+            )
+            self.breakers[worker_id] = breaker
+        return breaker
+
     def _prune_dead(self) -> None:
         for worker_id, info in list(self.workers.items()):
             if info.age() > 3 * self.config.dead_after:
                 del self.workers[worker_id]
                 self.ring.remove(worker_id)
+                self.breakers.pop(worker_id, None)
                 log.info("worker %s pruned (last seen %.1fs ago)", worker_id, info.age())
 
     # ------------------------------------------------------------------
@@ -237,7 +261,11 @@ class RouterService:
             spec = decode_delta_request(payload)
         return self.pool.route(spec).key.fingerprint
 
-    async def proxy_submit(self, path: str, body: bytes) -> tuple:
+    async def proxy_submit(
+        self, path: str, body: bytes, headers: Optional[dict] = None
+    ) -> tuple:
+        started = time.monotonic()
+        budget = _parse_deadline_header(headers)
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
             if not isinstance(payload, dict):
@@ -252,6 +280,11 @@ class RouterService:
             return 503, _error_payload("pool_exhausted", str(exc)), {"Retry-After": "1"}
         except ValueError as exc:
             return 400, _error_payload("bad_json", f"request body is not JSON: {exc}"), {}
+        if budget is not None and budget <= 0:
+            return 504, _error_payload(
+                "deadline_exceeded",
+                "the request's deadline budget was already spent on arrival",
+            ), {}
         request_id = self.next_request_id()
         owner = self.owner_of(fingerprint)
         root = None
@@ -272,10 +305,35 @@ class RouterService:
                 return 503, _error_payload(
                     "no_worker", f"no live worker owns shard {fingerprint[:10]}"
                 ), {"Retry-After": "1"}
+            breaker = self._breaker(owner.worker_id)
+            if not breaker.allow():
+                self._requests_total.labels(
+                    route=path, worker=owner.worker_id, status="breaker_open"
+                ).inc()
+                return 503, _error_payload(
+                    "circuit_open",
+                    f"worker {owner.worker_id} keeps failing; circuit open",
+                ), {"Retry-After": f"{self.config.breaker_reset_after:g}"}
+            # the worker gets the budget minus what routing already spent,
+            # so every hop's deadline shrinks end to end
+            remaining = None
+            if budget is not None:
+                remaining = budget - (time.monotonic() - started)
+                if remaining <= 0:
+                    return 504, _error_payload(
+                        "deadline_exceeded",
+                        "the request's deadline budget was spent routing",
+                    ), {}
             status, payload = await self._forward(
-                owner, "POST", path, body, request_id
+                owner, "POST", path, body, request_id, deadline=remaining
             )
             if status is None:
+                if budget is not None and time.monotonic() - started >= budget:
+                    return 504, _error_payload(
+                        "deadline_exceeded",
+                        f"worker {owner.worker_id} did not answer within the "
+                        "request's deadline budget",
+                    ), {}
                 return 503, _error_payload(
                     "worker_unreachable", f"worker {owner.worker_id} did not answer"
                 ), {"Retry-After": "1"}
@@ -297,6 +355,10 @@ class RouterService:
             return 503, _error_payload(
                 "no_worker", f"worker {worker_id!r} is not live"
             ), {"Retry-After": "1"}
+        if not self._breaker(worker_id).allow():
+            return 503, _error_payload(
+                "circuit_open", f"worker {worker_id} keeps failing; circuit open"
+            ), {"Retry-After": f"{self.config.breaker_reset_after:g}"}
         status, payload = await self._forward(
             info, "GET", f"/jobs/{local_id}", b"", None
         )
@@ -314,10 +376,16 @@ class RouterService:
         path: str,
         body: bytes,
         request_id: Optional[str],
+        deadline: Optional[float] = None,
     ) -> tuple:
         headers = {"Content-Type": "application/json", "X-Repro-Worker": info.worker_id}
         if request_id is not None:
             headers["X-Repro-Request-Id"] = request_id
+        timeout = self.config.proxy_timeout
+        if deadline is not None:
+            headers["X-Repro-Deadline"] = f"{deadline:.6f}"
+            # no point waiting past the caller's budget
+            timeout = min(timeout, max(deadline, 0.001))
         try:
             status, _, raw = await http_request(
                 info.host,
@@ -326,13 +394,17 @@ class RouterService:
                 path,
                 body=body,
                 headers=headers,
-                timeout=self.config.proxy_timeout,
+                timeout=timeout,
             )
         except (ConnectionError, asyncio.TimeoutError):
+            self._breaker(info.worker_id).record_failure()
             self._requests_total.labels(
                 route=path, worker=info.worker_id, status="unreachable"
             ).inc()
             return None, None
+        # any HTTP answer — even a 5xx — proves the worker is reachable
+        # and serving; the breaker watches transport health, not job health
+        self._breaker(info.worker_id).record_success()
         payload = json.loads(raw.decode("utf-8")) if raw else {}
         self._requests_total.labels(
             route=path, worker=info.worker_id, status=str(status)
@@ -441,6 +513,15 @@ class RouterService:
                     for info in live.values()
                 ],
             },
+            {
+                "name": "repro_breaker_state",
+                "type": "gauge",
+                "help": "per-worker circuit state (0=closed, 1=half_open, 2=open)",
+                "samples": [
+                    ({"worker": worker_id}, STATE_VALUES[breaker.state])
+                    for worker_id, breaker in sorted(self.breakers.items())
+                ],
+            },
         ]
 
 
@@ -518,7 +599,7 @@ class RouterHTTPServer(ServiceHTTPServer):
                 return 405, _error_payload(
                     "method_not_allowed", f"{path} is POST-only"
                 ), {}
-            return await self.router.proxy_submit(path, body)
+            return await self.router.proxy_submit(path, body, headers)
         return 404, _error_payload("not_found", f"no route {method} {path}"), {}
 
 

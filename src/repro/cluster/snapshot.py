@@ -12,8 +12,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
+
+from repro.faults import INJECTOR, InjectedIOError
 
 FORMAT = 1
 
@@ -26,8 +29,15 @@ def write_snapshot(
     path: Union[str, Path],
     shard_fingerprint: str,
     envelope: dict,
+    applied_keys: Optional[dict] = None,
 ) -> None:
-    """Atomically persist ``envelope`` (a session snapshot envelope)."""
+    """Atomically persist ``envelope`` (a session snapshot envelope).
+
+    ``applied_keys`` — the shard's idempotency-key memo — rides along in
+    the document (checkpointing resets the WAL, which would otherwise
+    forget which requests were already applied).  Absent in pre-1.7
+    snapshots; readers treat a missing section as empty.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     document = {
@@ -35,18 +45,34 @@ def write_snapshot(
         "shard": shard_fingerprint,
         "envelope": envelope,
     }
+    if applied_keys:
+        document["applied_keys"] = dict(applied_keys)
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    if INJECTOR.active:
+        decision = INJECTOR.decide("snapshot.write", shard=shard_fingerprint)
+        if decision is not None:
+            if decision.action == "delay":
+                time.sleep(decision.delay_s)
+            elif decision.action == "corrupt":
+                # a torn document that still replaces atomically — the next
+                # load must reject it loudly, never restore half a state
+                blob = blob[: max(1, len(blob) // 2)]
+            else:
+                raise InjectedIOError(
+                    f"injected snapshot.write failure (shard {shard_fingerprint})"
+                )
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write(blob)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
-def load_snapshot(
+def load_snapshot_document(
     path: Union[str, Path], shard_fingerprint: Optional[str] = None
 ) -> Optional[dict]:
-    """The stored envelope, or None when no snapshot exists.
+    """The full snapshot document, or None when no snapshot exists.
 
     Raises :class:`SnapshotError` on a malformed document or — when
     ``shard_fingerprint`` is given — on an identity mismatch: restoring a
@@ -69,4 +95,12 @@ def load_snapshot(
     envelope = document.get("envelope")
     if not isinstance(envelope, dict):
         raise SnapshotError(f"{path} has no snapshot envelope")
-    return envelope
+    return document
+
+
+def load_snapshot(
+    path: Union[str, Path], shard_fingerprint: Optional[str] = None
+) -> Optional[dict]:
+    """The stored envelope, or None when no snapshot exists (see above)."""
+    document = load_snapshot_document(path, shard_fingerprint)
+    return None if document is None else document["envelope"]

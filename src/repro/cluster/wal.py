@@ -25,16 +25,18 @@ refuses to come back until an operator intervenes.
 
 from __future__ import annotations
 
+import contextlib
 import io
 import json
 import os
 import struct
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
+from repro.faults import INJECTOR
 from repro.obs import WAL_FSYNC_SECONDS
 
 MAGIC = b"RWAL1\n"
@@ -47,30 +49,44 @@ class WalCorruptionError(RuntimeError):
 
 @dataclass
 class WalRecord:
-    """One replayable frame: which tick it was and what it applied."""
+    """One replayable frame: which tick it was and what it applied.
+
+    ``keys`` carries the idempotency keys of the requests folded into the
+    tick; replay re-registers them so a retry after a crash still dedupes
+    (exactly-once).  Absent in pre-1.7 logs — :meth:`from_payload` treats
+    a missing field as empty, and :meth:`to_payload` omits it when empty,
+    so old and new frames stay byte-compatible.
+    """
 
     seq: int
     deltas: list
+    keys: list = field(default_factory=list)
 
     def to_payload(self) -> bytes:
-        blob = json.dumps(
-            {"seq": self.seq, "deltas": self.deltas},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        document: dict = {"seq": self.seq, "deltas": self.deltas}
+        if self.keys:
+            document["keys"] = list(self.keys)
+        blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
         return blob.encode("utf-8")
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "WalRecord":
         data = json.loads(payload.decode("utf-8"))
-        return cls(seq=int(data["seq"]), deltas=list(data["deltas"]))
+        return cls(
+            seq=int(data["seq"]),
+            deltas=list(data["deltas"]),
+            keys=list(data.get("keys", [])),
+        )
 
 
 class DeltaLog:
     """An append-only, checksummed, fsync-on-append delta log."""
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], name: Optional[str] = None):
         self.path = Path(path)
+        #: the shard fingerprint fault rules match on (``{"shard": ...}``);
+        #: defaults to the per-shard directory name the worker lays out
+        self.name = name or self.path.parent.name
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # a missing file, or one shorter than the header (a crash while the
         # header itself was being written), starts the log over
@@ -148,13 +164,31 @@ class DeltaLog:
     # writing
     # ------------------------------------------------------------------
     def append(self, record: WalRecord) -> None:
-        """Frame, write and **fsync** one record; returns only once durable."""
+        """Frame, write and **fsync** one record; returns only once durable.
+
+        On any ``OSError`` mid-append (a failed write or fsync — including
+        injected ones) the partially written frame is truncated away best
+        effort, so a reopened log does not replay work the caller never
+        acknowledged.  If even the truncate fails, the reopen-scan's torn-
+        tail handling and the service's idempotency keys keep the
+        exactly-once story intact.
+        """
         payload = record.to_payload()
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        offset = os.fstat(self._file.fileno()).st_size
         started = time.perf_counter()
-        self._file.write(frame)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        try:
+            if INJECTOR.active:
+                INJECTOR.io("wal.append", shard=self.name)
+            self._file.write(frame)
+            self._file.flush()
+            if INJECTOR.active:
+                INJECTOR.io("wal.fsync", shard=self.name)
+            os.fsync(self._file.fileno())
+        except OSError:
+            with contextlib.suppress(OSError, ValueError):
+                self._file.truncate(offset)
+            raise
         WAL_FSYNC_SECONDS.observe(time.perf_counter() - started)
         self._records += 1
 

@@ -33,10 +33,12 @@ import logging
 import os
 import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.faults import INJECTOR
 from repro.obs import RECOVERY_REPLAYED_DELTAS, RECOVERY_RUNS, span
 from repro.service.codec import (
     DeltaRequestSpec,
@@ -44,13 +46,14 @@ from repro.service.codec import (
     delta_routing_payload,
     report_signature,
 )
+from repro.service.errors import ShardDegradedError
 from repro.service.http import ServiceHTTPServer, _error_payload
 from repro.service.pool import Shard
-from repro.service.service import CleaningService, ServiceConfig
+from repro.service.service import CleaningService, DurabilityError, ServiceConfig
 from repro.streaming.cleaner import StreamingMLNClean
 from repro.streaming.delta import DeltaBatch
 from repro.cluster.httpclient import http_json
-from repro.cluster.snapshot import load_snapshot, write_snapshot
+from repro.cluster.snapshot import load_snapshot_document, write_snapshot
 from repro.cluster.wal import DeltaLog, WalRecord
 
 log = logging.getLogger("repro.cluster.worker")
@@ -76,6 +79,8 @@ class WorkerConfig:
     router: Optional[str] = None
     #: seconds between heartbeats
     heartbeat_interval: float = 1.0
+    #: seconds a shard whose WAL failed sheds deltas before probing again
+    degraded_retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.worker_id:
@@ -100,10 +105,20 @@ class ShardDurability:
     and the handle map has its own lock for the attach/detach edges.
     """
 
-    def __init__(self, data_dir: Union[str, Path], snapshot_every: int = 8):
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        snapshot_every: int = 8,
+        degraded_retry_after: float = 1.0,
+    ):
         self.data_dir = Path(data_dir)
         self.snapshot_every = snapshot_every
+        #: seconds a degraded shard sheds deltas before the next tick may
+        #: probe the disk again (also the 503's ``Retry-After`` hint)
+        self.degraded_retry_after = degraded_retry_after
         self._logs: "dict[str, DeltaLog]" = {}
+        #: fingerprint → monotonic stamp of the WAL failure that degraded it
+        self._degraded: "dict[str, float]" = {}
         self._lock = threading.Lock()
 
     def shard_dir(self, fingerprint: str) -> Path:
@@ -127,21 +142,25 @@ class ShardDurability:
         directory = self.shard_dir(fingerprint)
         directory.mkdir(parents=True, exist_ok=True)
         self._persist_spec(directory / "spec.json", spec)
-        wal = DeltaLog(directory / "wal.log")
+        wal = DeltaLog(directory / "wal.log", name=fingerprint)
         with self._lock:
             self._logs[fingerprint] = wal
         replayed = 0
         source = "cold"
         with span("worker.recover", shard=shard.key.label, fingerprint=fingerprint) as rec:
-            envelope = load_snapshot(directory / "snapshot.json", fingerprint)
-            if envelope is not None:
+            document = load_snapshot_document(directory / "snapshot.json", fingerprint)
+            if document is not None:
                 try:
-                    state = shard.session.check_snapshot(envelope)
+                    state = shard.session.check_snapshot(document["envelope"])
                     engine.restore_state(state)
                 except ValueError as exc:
                     raise RecoveryError(
                         f"shard {shard.key.label}: snapshot rejected: {exc}"
                     ) from exc
+                # the snapshot carries the idempotency memo (the WAL it
+                # bounded was reset); re-arm the duplicate filter with it
+                for key, memo in (document.get("applied_keys") or {}).items():
+                    shard.remember_key(key, memo)
                 source = "snapshot"
             for record in wal.replay():
                 if record.seq < engine.batches_applied:
@@ -161,6 +180,10 @@ class ShardDurability:
                         f"shard {shard.key.label}: WAL tick {record.seq} no "
                         f"longer applies: {exc}"
                     ) from exc
+                for key in record.keys:
+                    # the demuxed result died with the old process; the key
+                    # still dedupes (retries get a duplicate acknowledgement)
+                    shard.remember_key(key, None)
                 replayed += len(record.deltas)
                 source = "snapshot+wal" if source == "snapshot" else "wal"
             rec.set(source=source, replayed_deltas=replayed, ticks=engine.batches_applied)
@@ -173,12 +196,76 @@ class ShardDurability:
                 shard.key.label, source, replayed, engine.batches_applied,
             )
 
-    def log_tick(self, shard: Shard, batch: DeltaBatch, report) -> None:
+    def ensure_writable(self, shard: Shard) -> None:
+        """Refuse deltas while the shard's durable store is degraded.
+
+        Raises :class:`ShardDegradedError` (the front end's 503 +
+        ``Retry-After``) within ``degraded_retry_after`` seconds of the WAL
+        failure.  The first call after the window *clears* the mark — that
+        tick becomes the probe: its engine re-attaches and its WAL append
+        either succeeds (recovered) or re-enters degraded mode.
+        """
+        fingerprint = shard.key.fingerprint
+        with self._lock:
+            since = self._degraded.get(fingerprint)
+            if since is None:
+                return
+            if time.monotonic() - since < self.degraded_retry_after:
+                raise ShardDegradedError(fingerprint, self.degraded_retry_after)
+            del self._degraded[fingerprint]
+        log.info(
+            "shard %s probing its durable store after degraded mode",
+            fingerprint[:10],
+        )
+
+    def degraded_fingerprints(self) -> list:
+        """Fingerprints currently shedding deltas (for ``/healthz``)."""
+        with self._lock:
+            return sorted(self._degraded)
+
+    def _enter_degraded(self, shard: Shard) -> None:
+        """A WAL write failed: shed this shard's deltas until a probe passes."""
+        fingerprint = shard.key.fingerprint
+        with self._lock:
+            self._degraded[fingerprint] = time.monotonic()
+            wal = self._logs.pop(fingerprint, None)
+        if wal is not None:
+            with contextlib.suppress(OSError):
+                wal.close()
+        log.warning(
+            "shard %s entered durability=degraded (WAL write failed); "
+            "shedding deltas for %.1fs",
+            fingerprint[:10], self.degraded_retry_after,
+        )
+
+    def log_tick(self, shard: Shard, batch: DeltaBatch, report, keys=()) -> None:
         """Make one applied micro-batch durable *before* its jobs are acked."""
         wal = self._log_for(shard)
-        wal.append(WalRecord(seq=report.sequence, deltas=batch.to_json_list()))
+        try:
+            wal.append(
+                WalRecord(
+                    seq=report.sequence,
+                    deltas=batch.to_json_list(),
+                    keys=list(keys),
+                )
+            )
+        except OSError as exc:
+            self._enter_degraded(shard)
+            raise DurabilityError(
+                f"shard {shard.key.label}: WAL append failed "
+                f"({type(exc).__name__}: {exc}); shard is degraded"
+            ) from exc
         if (report.sequence + 1) % self.snapshot_every == 0:
-            self.checkpoint(shard)
+            try:
+                self.checkpoint(shard)
+            except OSError as exc:
+                # the tick IS durable (its WAL frame fsynced); a failed
+                # snapshot only means replay stays longer — log, don't shed
+                log.warning(
+                    "shard %s: checkpoint failed (%s: %s); WAL keeps growing "
+                    "until one succeeds",
+                    shard.key.label, type(exc).__name__, exc,
+                )
 
     def checkpoint(self, shard: Shard) -> None:
         """Snapshot the shard's engine state and reset its WAL."""
@@ -188,7 +275,10 @@ class ShardDurability:
         fingerprint = shard.key.fingerprint
         envelope = shard.session.snapshot_envelope(engine.state_dict())
         write_snapshot(
-            self.shard_dir(fingerprint) / "snapshot.json", fingerprint, envelope
+            self.shard_dir(fingerprint) / "snapshot.json",
+            fingerprint,
+            envelope,
+            applied_keys=shard.applied_keys,
         )
         with self._lock:
             wal = self._logs.get(fingerprint)
@@ -253,7 +343,9 @@ class WorkerService(CleaningService):
         super().__init__(config)
         self.worker_config = worker_config
         self.durability = ShardDurability(
-            worker_config.data_dir, snapshot_every=worker_config.snapshot_every
+            worker_config.data_dir,
+            snapshot_every=worker_config.snapshot_every,
+            degraded_retry_after=worker_config.degraded_retry_after,
         )
 
     async def start(self) -> "WorkerService":
@@ -312,6 +404,9 @@ class WorkerService(CleaningService):
     def healthz(self) -> dict:
         payload = super().healthz()
         payload["worker_id"] = self.worker_config.worker_id
+        degraded = self.durability.degraded_fingerprints()
+        if degraded:
+            payload["degraded_shards"] = degraded
         return payload
 
 
@@ -430,10 +525,33 @@ class WorkerHTTPServer(ServiceHTTPServer):
     # heartbeat
     # ------------------------------------------------------------------
     async def _heartbeat_loop(self) -> None:
+        """Register with the router every ``heartbeat_interval`` seconds.
+
+        This task must never die short of cancellation: a worker whose
+        heartbeat loop crashed looks dead to the router and gets its shards
+        rerouted even though it is healthy.  *Any* failure — connection
+        errors, timeouts, but also a garbled router response blowing up the
+        JSON decode — is logged (once per outage, not once per beat) and
+        retried with a small backoff.
+        """
         router_host, _, router_port = self.worker_config.router.rpartition(":")
         interval = self.worker_config.heartbeat_interval
+        failures = 0
         while True:
+            delay = interval
             try:
+                if INJECTOR.active:
+                    decision = INJECTOR.decide(
+                        "worker.heartbeat", worker=self.worker_config.worker_id
+                    )
+                    if decision is not None:
+                        if decision.action == "delay":
+                            await asyncio.sleep(decision.delay_s)
+                        else:
+                            # stall/drop/fail: skip this beat entirely — the
+                            # router must notice the silence, not this task
+                            await asyncio.sleep(interval)
+                            continue
                 await http_json(
                     router_host or "127.0.0.1",
                     int(router_port),
@@ -442,11 +560,28 @@ class WorkerHTTPServer(ServiceHTTPServer):
                     payload=self._info(),
                     timeout=max(interval, 1.0),
                 )
-            except (ConnectionError, asyncio.TimeoutError, OSError):
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
                 # the router being briefly away is normal (rolling restarts);
-                # keep beating, membership recovers on the next success
-                pass
-            await asyncio.sleep(interval)
+                # keep beating with backoff, membership recovers on success
+                failures += 1
+                if failures == 1:
+                    log.warning(
+                        "worker %s heartbeat to %s failed (%s: %s); retrying",
+                        self.worker_config.worker_id,
+                        self.worker_config.router,
+                        type(exc).__name__, exc,
+                    )
+                delay = min(interval * (2 ** min(failures - 1, 2)), interval * 4)
+            else:
+                if failures:
+                    log.info(
+                        "worker %s heartbeat recovered after %d failure(s)",
+                        self.worker_config.worker_id, failures,
+                    )
+                failures = 0
+            await asyncio.sleep(delay)
 
 
 async def serve_worker(

@@ -20,7 +20,25 @@ import http.client
 import json
 import random
 import time
+import uuid
 from typing import Callable, Optional
+
+
+def _parse_retry_after(raw: Optional[str]) -> Optional[float]:
+    """A ``Retry-After`` header's value in seconds, or None.
+
+    Servers (and middleboxes) emit all sorts of garbage here — empty
+    strings, HTTP-dates, negative numbers.  A malformed or negative hint
+    must never crash the client's error path; it is simply treated as
+    absent and the normal backoff schedule applies.
+    """
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value >= 0 else None
 
 
 class ServiceError(RuntimeError):
@@ -79,15 +97,47 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        deadline: Optional[float] = None,
+    ) -> dict:
         """One HTTP exchange; raises :class:`ServiceError` on non-2xx.
 
         With ``retries`` configured, 503s and connection errors are retried
         on the backoff schedule documented on the class; the final attempt's
-        error propagates unchanged.
+        error propagates unchanged.  ``deadline`` is an end-to-end budget in
+        seconds for the *whole* call, retries included: each attempt sends
+        the remaining budget as ``X-Repro-Deadline`` (the router and worker
+        subtract their own elapsed time from it), and once it is spent the
+        client raises a local 504 instead of retrying further.
         """
+        started = time.monotonic() if deadline is not None else 0.0
         for attempt in range(self.retries + 1):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise ServiceError(
+                        504,
+                        {
+                            "error": {
+                                "type": "deadline_exceeded",
+                                "message": f"deadline of {deadline:g}s spent "
+                                           f"after {attempt} attempt(s)",
+                            }
+                        },
+                    )
             try:
+                # the kwarg is only passed when a budget is set: tests (and
+                # callers) substituting _request_once with the historical
+                # (method, path, payload) signature keep working
+                if remaining is not None:
+                    return self._request_once(
+                        method, path, payload, deadline=remaining
+                    )
                 return self._request_once(method, path, payload)
             except ServiceError as exc:
                 if exc.status != 503 or attempt >= self.retries:
@@ -109,24 +159,34 @@ class ServiceClient:
         return delay
 
     def _request_once(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        deadline: Optional[float] = None,
     ) -> dict:
+        timeout = self.timeout
+        if deadline is not None:
+            timeout = min(timeout, max(deadline, 0.001))
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            self.host, self.port, timeout=timeout
         )
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
             headers = {"Content-Type": "application/json"} if body else {}
+            if deadline is not None:
+                headers["X-Repro-Deadline"] = f"{deadline:.6f}"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
             if response.status >= 400:
-                retry_after = response.getheader("Retry-After")
                 raise ServiceError(
                     response.status,
                     decoded,
-                    retry_after=float(retry_after) if retry_after else None,
+                    retry_after=_parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
                 )
             return decoded
         finally:
@@ -135,25 +195,55 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def clean(self, *, wait: bool = True, timeout: Optional[float] = None, **fields) -> dict:
+    def clean(
+        self,
+        *,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **fields,
+    ) -> dict:
         """``POST /clean``; returns the job object from the response.
 
         Keyword fields mirror the wire format: ``workload``/``tuples``/
         ``error_rate``/... or ``table``+``rules``, plus ``cleaner``,
         ``options``, ``config`` (override mapping) and ``include_report``.
         With ``wait=True`` (default) the returned job carries ``result``.
+        ``deadline`` bounds the whole call, retries included (see
+        :meth:`request`).
         """
         payload = {**fields, "wait": wait}
         if timeout is not None:
             payload["timeout"] = timeout
-        return self.request("POST", "/clean", payload)["job"]
+        return self.request("POST", "/clean", payload, deadline=deadline)["job"]
 
-    def deltas(self, deltas: list, *, wait: bool = True, timeout: Optional[float] = None, **fields) -> dict:
-        """``POST /deltas``; ``deltas`` is a list of op-tagged dicts."""
+    def deltas(
+        self,
+        deltas: list,
+        *,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        idempotency_key: Optional[str] = None,
+        **fields,
+    ) -> dict:
+        """``POST /deltas``; ``deltas`` is a list of op-tagged dicts.
+
+        ``idempotency_key`` makes at-least-once retries exactly-once: the
+        shard remembers applied keys (durably, in its WAL/snapshots), so a
+        batch re-sent after a lost acknowledgement is deduplicated instead
+        of applied twice.  When the client is configured with ``retries``
+        and no key is given, one is generated — the payload is built once,
+        so every retry of this call re-sends the *same* key.
+        """
+        if idempotency_key is None and self.retries > 0:
+            idempotency_key = uuid.uuid4().hex
         payload = {**fields, "deltas": deltas, "wait": wait}
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
         if timeout is not None:
             payload["timeout"] = timeout
-        return self.request("POST", "/deltas", payload)["job"]
+        return self.request("POST", "/deltas", payload, deadline=deadline)["job"]
 
     def job(self, job_id: str) -> dict:
         return self.request("GET", f"/jobs/{job_id}")["job"]

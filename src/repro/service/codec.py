@@ -107,6 +107,11 @@ class DeltaRequestSpec:
     window: Optional[dict] = None
     #: include the post-tick cleaned table in the job result
     include_table: bool = True
+    #: client-generated request id for exactly-once application: a key the
+    #: shard has already applied (in memory, in its WAL, or in a snapshot)
+    #: is answered from the memo instead of re-applied, so retries after a
+    #: lost ack cannot double-apply.  Not part of the shard identity.
+    idempotency_key: Optional[str] = None
 
     #: delta streams run the incremental MLNClean engine only
     cleaner: str = "mlnclean"
@@ -268,6 +273,11 @@ def decode_delta_request(payload: object) -> DeltaRequestSpec:
         not isinstance(schema, list) or not all(isinstance(a, str) for a in schema)
     ):
         raise BadRequestError("'schema' must be a list of attribute names")
+    idempotency_key = data.get("idempotency_key")
+    if idempotency_key is not None and (
+        not isinstance(idempotency_key, str) or not idempotency_key
+    ):
+        raise BadRequestError("'idempotency_key' must be a non-empty string")
     spec = DeltaRequestSpec(
         deltas=deltas,
         workload=data.get("workload"),
@@ -278,6 +288,7 @@ def decode_delta_request(payload: object) -> DeltaRequestSpec:
         config_overrides=_decode_overrides(data),
         window=data.get("window"),
         include_table=bool(data.get("include_table", True)),
+        idempotency_key=idempotency_key,
     )
     spec.validate()
     return spec

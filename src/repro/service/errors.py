@@ -46,6 +46,26 @@ class ServiceDrainingError(RuntimeError):
         super().__init__("service is draining; retry later")
 
 
+class ShardDegradedError(RuntimeError):
+    """The shard's durable store is failing writes; shedding deltas (HTTP 503).
+
+    A WAL append or fsync error flips the shard into ``durability=degraded``
+    instead of crashing the worker: the in-memory state that outran the log
+    is discarded (nothing unacknowledged survives), delta writes answer 503
+    + ``Retry-After`` while the disk is sick, and a periodic probe lets the
+    first tick after ``retry_after`` seconds re-attach and recover from the
+    durable state — writes succeeding again clears the mode.
+    """
+
+    def __init__(self, fingerprint: str, retry_after: float = 1.0):
+        super().__init__(
+            f"shard {fingerprint[:10]} is in durability=degraded (its "
+            f"write-ahead log is failing writes); retry in {retry_after:g}s"
+        )
+        self.fingerprint = fingerprint
+        self.retry_after = retry_after
+
+
 class PoolExhaustedError(RuntimeError):
     """Too many distinct warm shards; shed the request (HTTP 503).
 

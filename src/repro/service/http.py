@@ -55,11 +55,42 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 def _error_payload(error_type: str, message: str) -> dict:
     return {"error": {"type": error_type, "message": message}}
+
+
+def _parse_deadline_header(headers: Optional[dict]) -> Optional[float]:
+    """The request's ``X-Repro-Deadline`` budget in seconds, or None.
+
+    A malformed budget must not fail an otherwise-valid request; like a
+    malformed ``Retry-After``, it is treated as absent.
+    """
+    raw = (headers or {}).get("x-repro-deadline")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        return None
+
+
+def _failure_status(error_kind: Optional[str]) -> int:
+    """Map a failed job's ``error_kind`` to its HTTP status.
+
+    ``bad_request`` is the client's fault (400), ``deadline`` means its
+    budget ran out (504), ``unavailable`` is retryable shedding — degraded
+    durability (503 + Retry-After); everything else, including quarantined
+    ``poison`` jobs, is a server-side 500.
+    """
+    return {
+        "bad_request": 400,
+        "deadline": 504,
+        "unavailable": 503,
+    }.get(error_kind, 500)
 
 
 class ServiceHTTPServer:
@@ -231,12 +262,20 @@ class ServiceHTTPServer:
         if default_seed is not None and "seed" not in payload:
             payload["seed"] = default_seed
         request_id = (headers or {}).get("x-repro-request-id")
+        budget = _parse_deadline_header(headers)
+        if budget is not None and budget <= 0:
+            return 504, _error_payload(
+                "deadline_exceeded",
+                "the request's deadline budget was already spent on arrival",
+            ), {}
         try:
             if path == "/clean":
                 spec = decode_clean_request(payload)
             else:
                 spec = decode_delta_request(payload)
-            job = await self.service.submit(spec, request_id=request_id)
+            job = await self.service.submit(
+                spec, request_id=request_id, budget=budget
+            )
         except BadRequestError as exc:
             return 400, _error_payload("bad_request", str(exc)), {}
         except KeyError as exc:
@@ -251,18 +290,25 @@ class ServiceHTTPServer:
         except PoolExhaustedError as exc:
             return 503, _error_payload("pool_exhausted", str(exc)), {"Retry-After": "1"}
         if wait:
+            wait_timeout = timeout if budget is None else min(timeout, budget)
             try:
-                await self.service.wait(job.id, timeout)
+                await self.service.wait(job.id, wait_timeout)
             except asyncio.TimeoutError:
+                if job.expired():
+                    # nobody is waiting anymore; the job stays addressable
+                    # via /jobs/<id> but this request reports its 504
+                    return 504, {"job": job.as_json_dict(include_result=False)}, {}
                 return 202, {"job": job.as_json_dict(include_result=False)}, {}
         if job.status is JobStatus.DONE:
             return 200, {"job": job.as_json_dict()}, {}
         if job.status is JobStatus.FAILED:
             # apply-time validation failures (e.g. a delta targeting an
-            # unknown tuple) are the client's fault; 500 stays reserved for
-            # genuine bugs, per the errors.py taxonomy
-            status = 400 if job.error_kind == "bad_request" else 500
-            return status, {"job": job.as_json_dict()}, {}
+            # unknown tuple) are the client's fault; 504/503 mark deadline
+            # and shedding outcomes retryable clients understand; 500 stays
+            # reserved for genuine bugs, per the errors.py taxonomy
+            status = _failure_status(job.error_kind)
+            extra = {"Retry-After": "1"} if status == 503 else {}
+            return status, {"job": job.as_json_dict()}, extra
         return 202, {"job": job.as_json_dict(include_result=False)}, {}
 
 

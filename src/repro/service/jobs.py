@@ -63,7 +63,15 @@ class Job:
     #: caller-supplied correlation id (the cluster router's request id),
     #: echoed back so spans stitch across processes
     request_id: Optional[str] = None
+    #: absolute ``time.monotonic()`` deadline from the request's budget
+    #: (``X-Repro-Deadline``); queued work past it is rejected with a 504
+    #: instead of burning executor time nobody is waiting for
+    deadline: Optional[float] = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def expired(self) -> bool:
+        """Whether the request's deadline has already passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
 
     @property
     def duration(self) -> Optional[float]:

@@ -81,6 +81,34 @@ class Shard:
         self.ticks = 0
         self.coalesced_requests = 0
         self.session_reuses = 0
+        #: idempotency key → memoized result of its first application (None
+        #: for keys re-registered from a WAL/snapshot replay, whose demuxed
+        #: result is gone — retries then get a duplicate acknowledgement);
+        #: bounded LRU so adversarial key churn cannot grow the shard
+        self.applied_keys: "OrderedDict[str, Optional[dict]]" = OrderedDict()
+
+    #: applied keys remembered per shard before the oldest are forgotten
+    MAX_APPLIED_KEYS = 512
+
+    def remember_key(self, key: str, result: Optional[dict]) -> None:
+        """Memoize one applied request so its retries dedupe."""
+        self.applied_keys[key] = result
+        self.applied_keys.move_to_end(key)
+        while len(self.applied_keys) > self.MAX_APPLIED_KEYS:
+            self.applied_keys.popitem(last=False)
+
+    def forget_key(self, key: str) -> None:
+        """Un-register a key whose tick turned out not to be durable."""
+        self.applied_keys.pop(key, None)
+
+    def replayed_result(self, key: str) -> dict:
+        """The dedupe answer for an already-applied key."""
+        memo = self.applied_keys.get(key)
+        if memo is not None:
+            return memo
+        # the key came back through recovery; its original demuxed result
+        # did not survive the crash, but the state did — acknowledge that
+        return {"kind": "deltas", "duplicate": True, "idempotency_key": key}
 
     def stream_engine(self, schema: list) -> StreamingMLNClean:
         """The shard's streaming engine, created on first delta tick."""
