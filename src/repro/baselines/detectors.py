@@ -1,60 +1,35 @@
-"""Error detectors for the HoloClean-style baseline.
+"""Error detectors for the HoloClean-style baseline (back-compat shim).
+
+.. deprecated::
+    The detectors moved to :mod:`repro.detect`, which adds the registry
+    (``register_detector`` / ``available_detectors`` / ``get_detector``),
+    the ``null`` / ``fixed`` / ``outlier`` / ``all-cells`` built-ins, the
+    :class:`~repro.detect.DirtyCells` provenance type, and HoloClean-format
+    denial-constraint ingestion.  This module re-exports the historical
+    names — ``ErrorDetector``, ``PerfectDetector``, ``ViolationDetector``,
+    ``UnionDetector`` — so existing imports and subclasses keep working
+    unchanged; new code should import from :mod:`repro.detect`.
 
 HoloClean "adopts external modules for error detection and it can only fix
 errors caught by the error detection phase" (Section 7.2).  The paper sets
-the detection accuracy to 100 % for a fair comparison; :class:`PerfectDetector`
+the detection accuracy to 100 % for a fair comparison; ``PerfectDetector``
 reproduces that setting by reading the injected-error ledger.
-:class:`ViolationDetector` is the realistic alternative: it flags the cells
+``ViolationDetector`` is the realistic alternative: it flags the cells
 implicated by integrity-constraint violations.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from repro.detect.base import Detector as ErrorDetector
+from repro.detect.builtin import (
+    PerfectDetector,
+    UnionDetector,
+    ViolationDetector,
+)
 
-from repro.constraints.rules import Rule
-from repro.constraints.violations import violating_cells
-from repro.dataset.table import Cell, Table
-from repro.errors.groundtruth import GroundTruth
-
-
-class ErrorDetector(ABC):
-    """Interface of the detection phase: which cells are considered noisy."""
-
-    @abstractmethod
-    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
-        """The set of cells the repair phase is allowed to change."""
-
-
-class PerfectDetector(ErrorDetector):
-    """Returns exactly the injected cells (the paper's 100 %-accuracy setting)."""
-
-    def __init__(self, ground_truth: GroundTruth):
-        self.ground_truth = ground_truth
-
-    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
-        del rules
-        return {cell for cell in self.ground_truth.dirty_cells if table.has_tid(cell.tid)}
-
-
-class ViolationDetector(ErrorDetector):
-    """Flags the cells implicated by at least one constraint violation."""
-
-    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
-        return violating_cells(table, rules)
-
-
-class UnionDetector(ErrorDetector):
-    """The union of several detectors (e.g. violations plus outliers)."""
-
-    def __init__(self, detectors: Sequence[ErrorDetector]):
-        if not detectors:
-            raise ValueError("UnionDetector needs at least one detector")
-        self.detectors = list(detectors)
-
-    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
-        cells: set[Cell] = set()
-        for detector in self.detectors:
-            cells.update(detector.detect(table, rules))
-        return cells
+__all__ = [
+    "ErrorDetector",
+    "PerfectDetector",
+    "ViolationDetector",
+    "UnionDetector",
+]

@@ -12,6 +12,7 @@ This package provides:
   by general denial constraints,
 * :mod:`repro.constraints.rules` — the FD / CFD / DC rule classes,
 * :mod:`repro.constraints.parser` — a small textual rule language,
+* :mod:`repro.constraints.dcfile` — HoloClean-format denial-constraint files,
 * :mod:`repro.constraints.violations` — violation detection over a table.
 """
 
@@ -23,6 +24,7 @@ from repro.constraints.rules import (
     Rule,
 )
 from repro.constraints.parser import parse_rule, parse_rules
+from repro.constraints.dcfile import load_dc_file, parse_dc_line, parse_dc_text
 from repro.constraints.violations import Violation, detect_violations, violating_cells
 
 __all__ = [
@@ -34,6 +36,9 @@ __all__ = [
     "DenialConstraint",
     "parse_rule",
     "parse_rules",
+    "parse_dc_line",
+    "parse_dc_text",
+    "load_dc_file",
     "Violation",
     "detect_violations",
     "violating_cells",

@@ -1,0 +1,169 @@
+"""HoloClean-format denial-constraint files.
+
+Real-world rule sets (HoloClean, Holistic data cleaning) ship as one denial
+constraint per line in predicate-list form::
+
+    t1&t2&EQ(t1.HospitalName,t2.HospitalName)&IQ(t1.ZipCode,t2.ZipCode)
+
+Each line declares its tuple variables (``t1``, ``t2``) followed by
+``OP(arg,arg)`` predicates, where ``OP`` is one of ``EQ``, ``IQ`` (the
+HoloClean spelling of ≠), ``LT``, ``GT``, ``LTE``, ``GTE`` and an argument is
+a tuple-variable attribute (``t1.City``) or a constant (``"BOAZ"``).  This
+module compiles that syntax into the existing
+:class:`~repro.constraints.rules.DenialConstraint` /
+:class:`~repro.constraints.predicates.Predicate` types, so HoloClean rule
+files load directly alongside the native ``parser.py`` syntax
+(``"DC: PN(t1)=PN(t2) & ST(t1)!=ST(t2)"``).
+
+Parse errors always carry the 1-based line number and the offending text.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.constraints.parser import RuleParseError
+from repro.constraints.predicates import Comparison, Predicate
+from repro.constraints.rules import DenialConstraint, Rule
+
+#: HoloClean predicate operators → the comparison enum
+_HC_OPERATORS = {
+    "EQ": Comparison.EQ,
+    "IQ": Comparison.NEQ,
+    "NEQ": Comparison.NEQ,
+    "LT": Comparison.LT,
+    "GT": Comparison.GT,
+    "LTE": Comparison.LTE,
+    "GTE": Comparison.GTE,
+}
+
+_HC_PREDICATE = re.compile(
+    r"^\s*(?P<op>[A-Z]+)\s*\(\s*(?P<left>[^,()]+?)\s*,\s*(?P<right>[^()]+?)\s*\)\s*$"
+)
+_HC_ATTRIBUTE = re.compile(r"^(?P<var>t\d+)\.(?P<attr>\w+)$")
+_HC_TUPLE_VAR = re.compile(r"^t\d+$")
+
+
+def looks_like_dc_line(text: str) -> bool:
+    """True when ``text`` is in HoloClean predicate-list form.
+
+    Used by :func:`repro.constraints.parser.parse_rule` to dispatch between
+    the native syntax and this one: a HoloClean line always starts with a
+    tuple-variable declaration (``t1&...``).
+    """
+    head = text.strip().split("&", 1)[0].strip()
+    return bool(_HC_TUPLE_VAR.match(head))
+
+
+def parse_dc_line(text: str, name: Optional[str] = None) -> DenialConstraint:
+    """Parse one HoloClean-format denial constraint."""
+    stripped = text.strip()
+    if not stripped:
+        raise RuleParseError("empty denial-constraint string")
+    rule_name = name if name is not None else "dc"
+    terms = [term.strip() for term in stripped.split("&") if term.strip()]
+    variables: list[str] = []
+    predicates: list[Predicate] = []
+    for term in terms:
+        if _HC_TUPLE_VAR.match(term):
+            if predicates:
+                raise RuleParseError(
+                    f"tuple variable {term!r} after the first predicate "
+                    f"in {text!r}"
+                )
+            if term in variables:
+                raise RuleParseError(f"duplicate tuple variable {term!r} in {text!r}")
+            variables.append(term)
+            continue
+        predicates.append(_parse_hc_predicate(term, variables, text))
+    if len(variables) < 2:
+        raise RuleParseError(
+            f"single-tuple denial constraints are not supported: {text!r} "
+            "(declare two tuple variables, e.g. 't1&t2&EQ(t1.A,t2.A)&...')"
+        )
+    if len(predicates) < 2:
+        raise RuleParseError(
+            f"a denial constraint needs at least two predicates: {text!r}"
+        )
+    return DenialConstraint(predicates, name=rule_name)
+
+
+def _parse_hc_predicate(
+    term: str, variables: list[str], line: str
+) -> Predicate:
+    match = _HC_PREDICATE.match(term)
+    if match is None:
+        raise RuleParseError(f"cannot parse DC predicate {term!r} in {line!r}")
+    op_token = match.group("op").upper()
+    operator = _HC_OPERATORS.get(op_token)
+    if operator is None:
+        known = ", ".join(sorted(_HC_OPERATORS))
+        raise RuleParseError(
+            f"unknown DC operator {op_token!r} in {term!r} (known: {known})"
+        )
+    left_var, left_attr = _parse_hc_argument(match.group("left"), variables, term)
+    right_var, right_attr = _parse_hc_argument(match.group("right"), variables, term)
+    if left_attr is None:
+        raise RuleParseError(
+            f"the left side of {term!r} must be a tuple attribute "
+            "(e.g. 't1.City'), not a constant"
+        )
+    if right_attr is None:
+        constant = match.group("right").strip().strip("'\"")
+        return Predicate(left_attr, operator, constant=constant)
+    return Predicate(
+        left_attr,
+        operator,
+        right_attribute=right_attr,
+        pairwise=left_var != right_var,
+    )
+
+
+def _parse_hc_argument(
+    token: str, variables: list[str], term: str
+) -> tuple[Optional[str], Optional[str]]:
+    """One predicate argument → (tuple variable, attribute) or a constant.
+
+    Returns ``(None, None)`` for constants; the caller re-reads the raw
+    token so quoting is preserved until the final strip.
+    """
+    token = token.strip()
+    match = _HC_ATTRIBUTE.match(token)
+    if match is None:
+        return None, None
+    variable = match.group("var")
+    if variables and variable not in variables:
+        raise RuleParseError(
+            f"predicate {term!r} references undeclared tuple variable "
+            f"{variable!r} (declared: {', '.join(variables)})"
+        )
+    return variable, match.group("attr")
+
+
+def parse_dc_text(text: str, prefix: str = "dc", source: str = "<string>") -> list[Rule]:
+    """Parse a whole HoloClean DC file body (one constraint per line).
+
+    Blank lines and ``#`` comments are skipped; rules are named
+    ``<prefix>1``, ``<prefix>2``, ... in file order.  Every parse error is
+    re-raised with ``<source>:<lineno>`` and the offending text.
+    """
+    rules: list[Rule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            rules.append(parse_dc_line(line, name=f"{prefix}{len(rules) + 1}"))
+        except RuleParseError as exc:
+            raise RuleParseError(f"{source}:{lineno}: {exc} [line: {line!r}]") from exc
+    if not rules:
+        raise RuleParseError(f"{source}: no denial constraints found")
+    return rules
+
+
+def load_dc_file(path: Union[str, Path], prefix: str = "dc") -> list[Rule]:
+    """Load a HoloClean-format denial-constraint file."""
+    path = Path(path)
+    return parse_dc_text(path.read_text(encoding="utf-8"), prefix=prefix, source=str(path))

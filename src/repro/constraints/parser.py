@@ -56,8 +56,15 @@ def parse_rule(text: str, name: Optional[str] = None) -> Rule:
     if _DC_PREFIX.match(stripped):
         return _parse_denial_constraint(_DC_PREFIX.sub("", stripped), rule_name)
     if "->" not in stripped:
+        # HoloClean predicate-list form ("t1&t2&EQ(t1.A,t2.A)&..."); lazy
+        # import because dcfile reuses RuleParseError from this module.
+        from repro.constraints.dcfile import looks_like_dc_line, parse_dc_line
+
+        if looks_like_dc_line(stripped):
+            return parse_dc_line(stripped, name=rule_name)
         raise RuleParseError(
-            f"cannot parse rule {text!r}: expected '->' or a 'DC:' prefix"
+            f"cannot parse rule {text!r}: expected '->', a 'DC:' prefix, or "
+            "a HoloClean predicate list ('t1&t2&EQ(t1.A,t2.A)&...')"
         )
     return _parse_dependency(stripped, rule_name)
 

@@ -116,12 +116,21 @@ class AbnormalGroupProcessor:
     # public API
     # ------------------------------------------------------------------
     def process_block(
-        self, block: Block, clean_lookup: Optional[CleanLookup] = None
+        self,
+        block: Block,
+        clean_lookup: Optional[CleanLookup] = None,
+        group_filter: Optional[Callable] = None,
     ) -> AGPOutcome:
         """Run AGP on one block, mutating it in place.
 
         ``clean_lookup`` enables the Precision-A / Recall-A instrumentation:
         it must return the ground-truth clean values of a tuple.
+
+        ``group_filter`` restricts the merge candidates to the abnormal
+        groups it accepts (dirty-cell-scoped cleaning): merging an abnormal
+        group rewrites the reason-part values of its tuples, so a scoped run
+        only merges groups holding at least one detected-dirty tuple and
+        leaves the rest untouched.
         """
         outcome = AGPOutcome()
         threshold = self.config.abnormal_threshold
@@ -129,6 +138,7 @@ class AbnormalGroupProcessor:
             key
             for key, group in block.groups.items()
             if group.tuple_count <= threshold
+            and (group_filter is None or group_filter(group))
         ]
         abnormal_set = set(abnormal_keys)
         # Sorted once per block (hoisted out of the per-abnormal-group loop):
@@ -165,12 +175,15 @@ class AbnormalGroupProcessor:
         return outcome
 
     def process_index(
-        self, blocks: list[Block], clean_lookup: Optional[CleanLookup] = None
+        self,
+        blocks: list[Block],
+        clean_lookup: Optional[CleanLookup] = None,
+        group_filter: Optional[Callable] = None,
     ) -> AGPOutcome:
         """Run AGP on every block of an index."""
         outcome = AGPOutcome()
         for block in blocks:
-            outcome.extend(self.process_block(block, clean_lookup))
+            outcome.extend(self.process_block(block, clean_lookup, group_filter))
         return outcome
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.core.index import MLNIndex
 from repro.core.report import CleaningReport
 from repro.core.stages import DEFAULT_STAGES, StageContext, build_stages
 from repro.dataset.table import Table
+from repro.detect.run import CleaningScope, run_detection
 from repro.errors.groundtruth import GroundTruth
 from repro.metrics.accuracy import evaluate_repair
 from repro.metrics.timing import PerfDetails, TimingBreakdown
@@ -63,6 +64,14 @@ class MLNClean:
     only wall-clock changes.  Parallel Stage I requires the default stage
     order (custom sequences may interleave Stage-I stages with stages that
     observe cross-block state, so they stay serial).
+
+    ``detectors`` is an optional error-detection stack (detector specs, see
+    :mod:`repro.detect`) run before the index build.  The result scopes the
+    run to the detected-dirty cells — Stage I only enumerates blocks
+    containing detected cells, Stage II only re-fuses affected tuples —
+    under the exact-or-prune contract: a detection covering every cell
+    (e.g. the ``all-cells`` default detector) disables scoping, producing
+    byte-identical output to a run without detectors.
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class MLNClean:
         config: Optional[MLNCleanConfig] = None,
         stages: Optional[Sequence[str]] = None,
         parallelism: int = 1,
+        detectors: Optional[Sequence] = None,
     ):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -78,9 +88,15 @@ class MLNClean:
                 "parallel Stage I requires the default stage order; "
                 "drop the custom stages or run with parallelism=1"
             )
+        if parallelism > 1 and detectors is not None:
+            raise ValueError(
+                "dirty-cell-scoped cleaning is serial-only; "
+                "drop the detectors or run with parallelism=1"
+            )
         self.config = config or MLNCleanConfig()
         self.stages = list(stages) if stages is not None else None
         self.parallelism = parallelism
+        self.detectors = list(detectors) if detectors is not None else None
 
     def clean(
         self,
@@ -119,6 +135,22 @@ class MLNClean:
             rules=len(rules),
             parallelism=self.parallelism,
         ):
+            # The optional detection phase (before the index: detectors read
+            # only the table and the rules).  Exact-or-prune: a detection
+            # covering the whole table builds no scope, so the run below is
+            # byte-identical to one without detectors.
+            if self.detectors is not None:
+                context.detected = run_detection(
+                    dirty,
+                    rules,
+                    self.detectors,
+                    ground_truth=ground_truth,
+                    backend="batch",
+                    timings=timings,
+                )
+                if not context.detected.covers(dirty):
+                    context.scope = CleaningScope(context.detected, dirty)
+
             # Pre-processing: MLN index construction (lines 1-13 of Alg. 1).
             with stage_scope(timings, "batch", "index") as index_span:
                 index = MLNIndex.build(dirty, rules)
@@ -155,8 +187,21 @@ class MLNClean:
                 timings=timings.as_dict(),
                 distance=context.engine.stats.as_dict(),
                 parallelism=self.parallelism,
+                detection=self._detection_details(context),
             ),
         )
+
+    @staticmethod
+    def _detection_details(context: StageContext) -> Optional[dict]:
+        """The masked detection drill-down of the run (``None`` without one)."""
+        if context.detected is None:
+            return None
+        payload = context.detected.to_json_dict()
+        payload["scoped"] = context.scope is not None
+        if context.scope is not None:
+            payload["scoped_blocks"] = context.scope.selected_block_names()
+            payload["affected_tuples"] = len(context.scope.tids)
+        return payload
 
     def _build_stage_sequence(self):
         """The stage instances of this run.

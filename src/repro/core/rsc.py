@@ -147,18 +147,27 @@ class ReliabilityScoreCleaner:
         block: Block,
         clean_lookup: Optional[CleanLookup] = None,
         relearn_weights: bool = True,
+        group_filter: Optional[Callable[[Group], bool]] = None,
     ) -> RSCOutcome:
         """Learn weights, then resolve every group of the block to one γ.
 
         ``relearn_weights=False`` keeps the weights already attached to the
         block's γs — the distributed driver uses this after replacing the
         locally learned weights with the Eq.-6 global ones.
+
+        ``group_filter`` restricts γ resolution to the groups it accepts
+        (dirty-cell-scoped cleaning); weight learning stays block-global
+        regardless — the Eq.-4 prior normalises over the whole block, so a
+        filtered run still learns exactly the weights a full run would.
         """
         if relearn_weights:
             self.learn_block_weights(block)
         outcome = RSCOutcome()
         for group in block.group_list:
             if group.is_resolved():
+                outcome.skipped_groups += 1
+                continue
+            if group_filter is not None and not group_filter(group):
                 outcome.skipped_groups += 1
                 continue
             outcome.extend(self._clean_group(block, group, clean_lookup))
@@ -170,10 +179,13 @@ class ReliabilityScoreCleaner:
         blocks: list[Block],
         clean_lookup: Optional[CleanLookup] = None,
         relearn_weights: bool = True,
+        group_filter: Optional[Callable[[Group], bool]] = None,
     ) -> RSCOutcome:
         outcome = RSCOutcome()
         for block in blocks:
-            outcome.extend(self.clean_block(block, clean_lookup, relearn_weights))
+            outcome.extend(
+                self.clean_block(block, clean_lookup, relearn_weights, group_filter)
+            )
         return outcome
 
     # ------------------------------------------------------------------

@@ -27,13 +27,17 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from repro.constraints.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detect.base import DirtyCells
+    from repro.detect.run import CleaningScope
 from repro.core.agp import AbnormalGroupProcessor
 from repro.core.config import MLNCleanConfig
 from repro.core.dedup import DeduplicationResult, remove_duplicates
-from repro.core.fscr import FusionScoreResolver
+from repro.core.fscr import FSCROutcome, FusionScoreResolver
 from repro.core.index import Block
 from repro.core.rsc import ReliabilityScoreCleaner
 from repro.dataset.table import Cell, Table
@@ -71,6 +75,12 @@ class StageContext:
     #: the run-wide shared distance engine (set by the pipeline so AGP, RSC,
     #: FSCR and dedup share one cache; ``None`` keeps per-stage defaults)
     engine: Optional[DistanceEngine] = None
+    #: the detection result of the run (``None`` when no detectors ran)
+    detected: Optional["DirtyCells"] = None
+    #: the dirty-cell scope; ``None`` means full-scope — either no detectors
+    #: ran or the detection covered every cell (the exact-or-prune pivot:
+    #: a ``None`` scope is exactly today's unscoped code path)
+    scope: Optional["CleaningScope"] = None
 
 
 @runtime_checkable
@@ -86,7 +96,13 @@ class Stage(Protocol):
 
 
 class AGPStage:
-    """Stage I, part 1: abnormal group processing on every block."""
+    """Stage I, part 1: abnormal group processing on every block.
+
+    Under a dirty-cell scope, only the blocks containing detected cells are
+    enumerated, and only the abnormal groups holding an affected tuple are
+    merged — merging rewrites the reason-part values of a group's tuples,
+    which a dirty-scoped run must not do to undetected tuples.
+    """
 
     name = "agp"
 
@@ -96,13 +112,23 @@ class AGPStage:
     def run(self, context: StageContext) -> None:
         if context.engine is not None:
             self._processor.engine = context.engine
+        scope = context.scope
+        blocks = context.blocks if scope is None else scope.select_blocks(context.blocks)
         context.outcomes[self.name] = self._processor.process_index(
-            context.blocks, context.clean_lookup
+            blocks,
+            context.clean_lookup,
+            group_filter=None if scope is None else scope.selects_group,
         )
 
 
 class RSCStage:
-    """Stage I, part 2: weight learning + reliability-score cleaning."""
+    """Stage I, part 2: weight learning + reliability-score cleaning.
+
+    Under a dirty-cell scope, only the selected blocks are cleaned and only
+    the groups holding an affected tuple are resolved — those γs are the
+    fusion inputs of the tuples Stage II will re-fuse; weight learning
+    stays block-global either way (the Eq.-4 prior is a block sum).
+    """
 
     name = "rsc"
 
@@ -112,13 +138,22 @@ class RSCStage:
     def run(self, context: StageContext) -> None:
         if context.engine is not None:
             self._cleaner.engine = context.engine
+        scope = context.scope
+        blocks = context.blocks if scope is None else scope.select_blocks(context.blocks)
         context.outcomes[self.name] = self._cleaner.clean_index(
-            context.blocks, context.clean_lookup
+            blocks,
+            context.clean_lookup,
+            group_filter=None if scope is None else scope.selects_group,
         )
 
 
 class FSCRStage:
-    """Stage II, part 1: fusion-score conflict resolution across versions."""
+    """Stage II, part 1: fusion-score conflict resolution across versions.
+
+    Under a dirty-cell scope, only the affected tuples (those with at least
+    one detected cell) are re-fused, against the data versions of the
+    selected blocks; every other tuple keeps its as-arrived row.
+    """
 
     name = "fscr"
 
@@ -128,15 +163,37 @@ class FSCRStage:
     def run(self, context: StageContext) -> None:
         if context.engine is not None:
             self._resolver.engine = context.engine
-        outcome = self._resolver.resolve(
-            context.dirty, context.blocks, context.clean_lookup, context.dirty_cells
-        )
+        scope = context.scope
+        if scope is None:
+            outcome = self._resolver.resolve(
+                context.dirty, context.blocks, context.clean_lookup, context.dirty_cells
+            )
+        else:
+            outcome = self._resolve_scoped(context, scope)
         context.outcomes[self.name] = outcome
         context.repaired = outcome.repaired
         # A fresh repaired table invalidates anything derived from an older
         # one (e.g. a dedup a custom stage order ran earlier).
         context.cleaned = None
         context.dedup = None
+
+    def _resolve_scoped(self, context: StageContext, scope) -> FSCROutcome:
+        """Fuse only the affected tuples and patch them into a full copy."""
+        repaired = context.dirty.copy(name=f"{context.dirty.name}-repaired")
+        live = [tid for tid in context.dirty.tids if tid in scope.tids]
+        if not live:
+            return FSCROutcome(repaired=repaired)
+        blocks = scope.select_blocks(context.blocks)
+        subset = context.dirty.subset(live, name=context.dirty.name)
+        outcome = self._resolver.resolve(
+            subset, blocks, context.clean_lookup, context.dirty_cells
+        )
+        for tid in live:
+            fused_row = outcome.repaired.row(tid).as_dict()
+            for attribute, value in fused_row.items():
+                repaired.set_value(tid, attribute, value)
+        outcome.repaired = repaired
+        return outcome
 
 
 class DedupStage:

@@ -1,0 +1,79 @@
+"""Pluggable error detection: the front end that scopes what repair touches.
+
+MLNClean itself performs detection and repair together, but real-world
+cleaning (and the HoloClean baseline) needs an explicit detection phase:
+*which cells are noisy* is decided first, and the repair phase is only
+allowed to touch (or is focused on) those cells.  This package is that
+phase:
+
+* :class:`Detector` + registry — ``register_detector`` /
+  ``available_detectors`` / ``get_detector``, mirroring the
+  cleaner/backend/stage registries, with built-ins ``all-cells``, ``null``,
+  ``violation``, ``fixed``, ``outlier``, ``perfect`` and the ``union``
+  combinator (:mod:`repro.detect.builtin`).
+* :class:`DirtyCells` — one union cell set with per-detector provenance.
+* :func:`run_detection` / :class:`CleaningScope` — the execution seam and
+  the dirty-scoped cleaning contract (exact-or-prune: full coverage means
+  the exact, byte-identical pipeline path).
+* :class:`StreamDetection` — incremental re-detection on dirtied blocks
+  for the streaming engine.
+* HoloClean-format denial-constraint files load through
+  :func:`repro.constraints.dcfile.load_dc_file` (re-exported here); a
+  sample file ships as package data under ``detect/data/``.
+
+``python -m repro.detect`` runs a detector stack over a workload or CSV
+table and emits the dirty-cell set as JSON.
+"""
+
+from repro.constraints.dcfile import load_dc_file, parse_dc_line, parse_dc_text
+from repro.detect.base import (
+    Detector,
+    DetectorSpec,
+    DirtyCells,
+    available_detectors,
+    detector_specs_identity,
+    get_detector,
+    register_detector,
+    resolve_detector,
+    resolve_detectors,
+    validate_detector_specs,
+)
+from repro.detect.builtin import (
+    AllCellsDetector,
+    FixedDetector,
+    NullDetector,
+    OutlierDetector,
+    PerfectDetector,
+    UnionDetector,
+    ViolationDetector,
+    data_path,
+)
+from repro.detect.run import CleaningScope, run_detection
+from repro.detect.streaming import StreamDetection
+
+__all__ = [
+    "Detector",
+    "DetectorSpec",
+    "DirtyCells",
+    "register_detector",
+    "available_detectors",
+    "get_detector",
+    "resolve_detector",
+    "resolve_detectors",
+    "detector_specs_identity",
+    "validate_detector_specs",
+    "AllCellsDetector",
+    "NullDetector",
+    "ViolationDetector",
+    "FixedDetector",
+    "OutlierDetector",
+    "PerfectDetector",
+    "UnionDetector",
+    "data_path",
+    "run_detection",
+    "CleaningScope",
+    "StreamDetection",
+    "parse_dc_line",
+    "parse_dc_text",
+    "load_dc_file",
+]

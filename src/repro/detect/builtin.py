@@ -1,0 +1,371 @@
+"""The built-in detectors, seeded from the HoloClean baseline's detector set.
+
+==============  ============================================================
+name            flags
+==============  ============================================================
+``all-cells``   every cell (the default scope: repair may touch anything)
+``null``        empty / placeholder values (``""``, ``null``, ``n/a``, ...)
+``violation``   cells implicated by integrity-constraint violations
+``fixed``       user-labelled cells from a JSON/CSV ledger (or inline)
+``outlier``     per-attribute frequency / length outliers
+``perfect``     the injected-error ledger (the paper's 100 %-accuracy setting)
+``union``       the union of a nested detector stack
+==============  ============================================================
+
+Every class registers itself under the table's name; resolve by name through
+:func:`repro.detect.get_detector` or pass instances directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.constraints.dcfile import load_dc_file
+from repro.constraints.parser import parse_rule
+from repro.constraints.rules import Rule
+from repro.constraints.violations import violating_cells
+from repro.dataset.table import Cell, Table
+from repro.detect.base import (
+    Detector,
+    DetectorSpec,
+    register_detector,
+    resolve_detectors,
+)
+from repro.errors.groundtruth import GroundTruth
+
+#: package-data directory holding sample HoloClean-format DC files
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def data_path(name: str) -> Path:
+    """Resolve a packaged data file name (e.g. ``"hospital_sample.dc"``)."""
+    return DATA_DIR / name
+
+
+class AllCellsDetector(Detector):
+    """Every cell of the table — the default "repair may touch anything" scope.
+
+    This is the exact-or-prune anchor: a stack producing full coverage
+    disables dirty-cell scoping, so the pipeline output is byte-identical
+    to a run with no detectors at all.
+    """
+
+    name = "all-cells"
+    granularity = "tuple"
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        del rules
+        return {
+            Cell(tid, attribute)
+            for tid in table.tids
+            for attribute in table.attributes
+        }
+
+
+class NullDetector(Detector):
+    """Empty and placeholder values (HoloClean's ``NullDetector`` shape)."""
+
+    name = "null"
+    granularity = "tuple"
+
+    #: case-insensitive markers treated as missing values
+    DEFAULT_MARKERS = ("", "null", "nan", "n/a", "na", "none", "?")
+
+    def __init__(self, markers: Optional[Sequence[str]] = None):
+        source = self.DEFAULT_MARKERS if markers is None else markers
+        self.markers = frozenset(str(marker).strip().lower() for marker in source)
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        del rules
+        return {
+            Cell(row.tid, attribute)
+            for row in table
+            for attribute in table.attributes
+            if row[attribute].strip().lower() in self.markers
+        }
+
+
+class ViolationDetector(Detector):
+    """Flags the cells implicated by at least one constraint violation.
+
+    By default it evaluates the rules of the cleaning run; ``rules=`` (rule
+    objects or textual rules) or ``dc_file=`` (a HoloClean-format
+    denial-constraint file — bare names resolve against the packaged
+    ``detect/data/`` directory) pin an explicit rule set instead, which lets
+    a detector stack carry its own external constraints.
+
+    A violation implicates every cell on both of its sides, so a single
+    dirty value inside a large agreeing group implicates the whole group.
+    The default ``refine=True`` keeps only the likely-dirty side of each
+    violation, using two signals in order: the cells appearing in the most
+    violations of the rule (a dirty tuple conflicts with every clean tuple
+    of its group, each clean tuple only with the few dirty ones), and —
+    when that ties, as it does for grouped FD/CFD violations — the cells
+    holding a non-modal value within the violation (the majority value is
+    presumed clean).  When both signals tie, every implicated cell stays
+    flagged.  ``refine=False`` flags every implicated cell (the
+    HoloClean-baseline behaviour).
+    """
+
+    name = "violation"
+    granularity = "rule"
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Union[Rule, str]]] = None,
+        dc_file: Optional[Union[str, Path]] = None,
+        refine: bool = True,
+    ):
+        if rules is not None and dc_file is not None:
+            raise ValueError("pass either rules= or dc_file=, not both")
+        self.refine = bool(refine)
+        self._own_rules: Optional[list[Rule]] = None
+        if rules is not None:
+            self._own_rules = [
+                rule if isinstance(rule, Rule) else parse_rule(rule)
+                for rule in rules
+            ]
+        elif dc_file is not None:
+            path = Path(dc_file)
+            if not path.exists() and data_path(str(dc_file)).exists():
+                path = data_path(str(dc_file))
+            self._own_rules = load_dc_file(path)
+        # pinned rules decouple detection from the dirtied blocks of the
+        # cleaning run's rules, so streaming falls back to full re-detection
+        if self._own_rules is not None:
+            self.granularity = "table"
+
+    def rules_for(self, rules: Sequence[Rule]) -> list[Rule]:
+        """The effective rule set: pinned rules, else the run's rules."""
+        return self._own_rules if self._own_rules is not None else list(rules)
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        cells: set[Cell] = set()
+        for rule in self.rules_for(rules):
+            cells.update(self.detect_rule(table, rule))
+        return cells
+
+    def detect_rule(self, table: Table, rule: Rule) -> set[Cell]:
+        """Violating cells of one rule (the streaming per-block re-check)."""
+        if not self.refine:
+            return violating_cells(table, [rule])
+        violations = rule.violations(table)
+        counts: Counter = Counter()
+        for violation in violations:
+            counts.update(violation.suspect_cells)
+        cells: set[Cell] = set()
+        for violation in violations:
+            suspects = violation.suspect_cells
+            top = max(counts[cell] for cell in suspects)
+            candidates = [cell for cell in suspects if counts[cell] == top]
+            if len(candidates) == len(suspects) and len(suspects) > 1:
+                # frequency did not separate the sides (grouped FD/CFD
+                # violations implicate each cell exactly once) — fall back
+                # to value rarity: the modal value is presumed clean
+                values = {
+                    cell: table.row(cell.tid)[cell.attribute]
+                    for cell in suspects
+                }
+                value_counts = Counter(values.values())
+                modal = max(value_counts.values())
+                rare = [
+                    cell
+                    for cell in suspects
+                    if value_counts[values[cell]] < modal
+                ]
+                if rare:
+                    candidates = rare
+            cells.update(candidates)
+        return cells
+
+
+class FixedDetector(Detector):
+    """User-labelled dirty cells from a ledger (JSON or CSV) or inline.
+
+    JSON ledgers are a list of ``[tid, attribute]`` pairs, a list of
+    ``{"tid": ..., "attribute": ...}`` objects, or an object with a
+    ``"cells"`` key holding either; CSV ledgers need ``tid`` and
+    ``attribute`` columns.  Cells of tuples not present in the table are
+    ignored at detect time (a ledger may outlive a windowed stream).
+    """
+
+    name = "fixed"
+    granularity = "tuple"
+
+    def __init__(
+        self,
+        cells: Optional[Sequence] = None,
+        path: Optional[Union[str, Path]] = None,
+    ):
+        if (cells is None) == (path is None):
+            raise ValueError("pass exactly one of cells= or path=")
+        if path is not None:
+            cells = self._load(Path(path))
+        self.cells = frozenset(self._coerce_cell(entry) for entry in cells)
+
+    @staticmethod
+    def _coerce_cell(entry) -> Cell:
+        if isinstance(entry, Cell):
+            return entry
+        if isinstance(entry, Mapping):
+            return Cell(int(entry["tid"]), str(entry["attribute"]))
+        tid, attribute = entry
+        return Cell(int(tid), str(attribute))
+
+    @staticmethod
+    def _load(path: Path) -> list:
+        if path.suffix.lower() == ".csv":
+            with path.open(newline="", encoding="utf-8") as handle:
+                reader = csv.DictReader(handle)
+                if reader.fieldnames is None or not {
+                    "tid",
+                    "attribute",
+                }.issubset(reader.fieldnames):
+                    raise ValueError(
+                        f"{path}: a fixed-cell CSV ledger needs 'tid' and "
+                        f"'attribute' columns, got {reader.fieldnames!r}"
+                    )
+                return [
+                    {"tid": row["tid"], "attribute": row["attribute"]}
+                    for row in reader
+                ]
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(payload, Mapping):
+            payload = payload.get("cells")
+        if not isinstance(payload, list):
+            raise ValueError(
+                f"{path}: a fixed-cell JSON ledger is a list of cells "
+                "(or an object with a 'cells' list)"
+            )
+        return payload
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        del rules
+        attributes = set(table.attributes)
+        return {
+            cell
+            for cell in self.cells
+            if table.has_tid(cell.tid) and cell.attribute in attributes
+        }
+
+
+class OutlierDetector(Detector):
+    """Per-attribute frequency and length outliers.
+
+    Two cheap univariate signals:
+
+    * **frequency** — in a categorical attribute (distinct/total at or
+      below ``max_distinct_ratio``), values with fewer than ``min_support``
+      occurrences are flagged; high-cardinality attributes (identifiers)
+      skip this signal, where it would flag everything.
+    * **length** — values whose length deviates from the attribute's modal
+      length by more than ``length_slack`` characters.
+    """
+
+    name = "outlier"
+    granularity = "table"
+
+    def __init__(
+        self,
+        min_support: int = 2,
+        max_distinct_ratio: float = 0.5,
+        length_slack: int = 3,
+    ):
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.min_support = int(min_support)
+        self.max_distinct_ratio = float(max_distinct_ratio)
+        self.length_slack = int(length_slack)
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        del rules
+        cells: set[Cell] = set()
+        total = len(table)
+        if not total:
+            return cells
+        for attribute in table.attributes:
+            values = [(row.tid, row[attribute]) for row in table]
+            counts = Counter(value for _, value in values)
+            categorical = len(counts) / total <= self.max_distinct_ratio
+            length_counts = Counter(len(value) for _, value in values)
+            # modal length by count, smallest length breaking ties
+            modal_length = min(
+                length_counts,
+                key=lambda length: (-length_counts[length], length),
+            )
+            for tid, value in values:
+                rare = categorical and counts[value] < self.min_support
+                stretched = abs(len(value) - modal_length) > self.length_slack
+                if rare or stretched:
+                    cells.add(Cell(tid, attribute))
+        return cells
+
+
+class PerfectDetector(Detector):
+    """Returns exactly the injected cells (the paper's 100 %-accuracy setting).
+
+    The ledger can be bound at construction, or left ``None`` to be injected
+    by the run (sessions pass their ground truth into the detection phase).
+    """
+
+    name = "perfect"
+    granularity = "tuple"
+
+    def __init__(self, ground_truth: Optional[GroundTruth] = None):
+        self.ground_truth = ground_truth
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        del rules
+        if self.ground_truth is None:
+            raise ValueError(
+                "PerfectDetector needs the injected-error ledger: pass "
+                "ground_truth= or run it through a session that has one"
+            )
+        return {
+            cell
+            for cell in self.ground_truth.dirty_cells
+            if table.has_tid(cell.tid)
+        }
+
+
+class UnionDetector(Detector):
+    """The union of several detectors (e.g. violations plus outliers).
+
+    Members are detector specs (names, mappings, or instances); provenance
+    inside a union is collapsed to the union itself — run the members as
+    separate stack entries to keep per-detector provenance.
+    """
+
+    name = "union"
+
+    def __init__(self, detectors: Sequence[DetectorSpec]):
+        if not detectors:
+            raise ValueError("UnionDetector needs at least one detector")
+        self.detectors = resolve_detectors(detectors)
+        granularities = {
+            getattr(member, "granularity", "table") for member in self.detectors
+        }
+        self.granularity = "tuple" if granularities == {"tuple"} else "table"
+
+    def detect(self, table: Table, rules: Sequence[Rule]) -> set[Cell]:
+        cells: set[Cell] = set()
+        for detector in self.detectors:
+            cells.update(detector.detect(table, rules))
+        return cells
+
+
+for _name, _factory in (
+    ("all-cells", AllCellsDetector),
+    ("null", NullDetector),
+    ("violation", ViolationDetector),
+    ("fixed", FixedDetector),
+    ("outlier", OutlierDetector),
+    ("perfect", PerfectDetector),
+    ("union", UnionDetector),
+):
+    register_detector(_name, _factory)

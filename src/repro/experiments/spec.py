@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.report import CleaningReport
+from repro.detect.base import DirtyCells, detector_specs_identity
 from repro.perf import global_distance_stats
 from repro.registry import unknown_name
 from repro.session import CleaningSession
@@ -143,6 +144,10 @@ class ExperimentSpec:
     replacement_ratios: list[float] = field(default_factory=lambda: [0.5])
     #: the configuration axis; a dict maps workload → its own grid
     config_grid: ConfigGrid = field(default_factory=lambda: [ConfigCell()])
+    #: the error-detection axis: each entry is ``None`` (no detection phase)
+    #: or a detector-spec list (names / {"name", "options"} objects, see
+    #: :mod:`repro.detect`); every stack runs on every other grid point
+    detector_stacks: list = field(default_factory=lambda: [None])
     #: workload size; ``None`` = the harness defaults per dataset
     tuples: Optional[int] = None
     #: workload-generation seed
@@ -174,7 +179,7 @@ class ExperimentSpec:
             }
         else:
             grid = [cell.to_json_dict() for cell in self.config_grid]
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "workloads": list(self.workloads),
@@ -187,6 +192,14 @@ class ExperimentSpec:
             "error_seed": self.error_seed,
             "store_reports": self.store_reports,
         }
+        if self.detector_stacks != [None]:
+            # the no-detection default stays implicit so pre-detection spec
+            # files round-trip bit-identically
+            payload["detector_stacks"] = [
+                None if stack is None else list(stack)
+                for stack in self.detector_stacks
+            ]
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "ExperimentSpec":
@@ -209,6 +222,10 @@ class ExperimentSpec:
             error_rates=list(data.get("error_rates") or [0.05]),
             replacement_ratios=list(data.get("replacement_ratios") or [0.5]),
             config_grid=grid,
+            detector_stacks=[
+                None if stack is None else list(stack)
+                for stack in data.get("detector_stacks") or [None]
+            ],
             tuples=data.get("tuples"),
             seed=int(data.get("seed", 7)),
             error_seed=int(data.get("error_seed", 42)),
@@ -364,16 +381,18 @@ class ExperimentRunner:
                     )
                     for config_cell in grid:
                         for cleaner_spec in spec.cleaners:
-                            cells.append(
-                                self._run_cell(
-                                    workload,
-                                    error_rate,
-                                    ratio,
-                                    config_cell,
-                                    cleaner_spec,
-                                    instance,
+                            for detectors in spec.detector_stacks:
+                                cells.append(
+                                    self._run_cell(
+                                        workload,
+                                        error_rate,
+                                        ratio,
+                                        config_cell,
+                                        cleaner_spec,
+                                        instance,
+                                        detectors,
+                                    )
                                 )
-                            )
         from repro.obs import get_registry
 
         return RunArtifact(
@@ -391,6 +410,7 @@ class ExperimentRunner:
         config_cell: ConfigCell,
         cleaner_spec: CleanerSpec,
         instance,
+        detectors=None,
     ) -> CellResult:
         config = recommended_config(workload)
         overrides = {**config_cell.overrides, **cleaner_spec.config}
@@ -403,6 +423,7 @@ class ExperimentRunner:
             cleaner=cleaner,
             table=instance.dirty,
             ground_truth=instance.ground_truth,
+            detectors=list(detectors) if detectors is not None else None,
         )
         stats_before = global_distance_stats()
         started = time.perf_counter()
@@ -417,6 +438,7 @@ class ExperimentRunner:
             "config": config_cell.to_json_dict(),
             "cleaner": cleaner_spec.cleaner,
             "options": dict(cleaner_spec.options),
+            "detectors": detector_specs_identity(detectors),
             "system": system,
         }
         perf = {
@@ -431,9 +453,12 @@ class ExperimentRunner:
                 for phase, seconds in report.timings.as_dict().items()
             },
         }
+        metrics = _cell_metrics(report, system, wall_seconds, cleaner)
+        if detectors is not None:
+            metrics.update(_detection_metrics(report, instance))
         return CellResult(
             coords=coords,
-            metrics=_cell_metrics(report, system, wall_seconds, cleaner),
+            metrics=metrics,
             perf=perf,
             report=report if self.spec.store_reports else None,
         )
@@ -477,10 +502,41 @@ def _cell_metrics(
     elif details is not None:
         detected = getattr(details, "detected_cells", None)
         if detected is not None:
-            metrics["detected_cells"] = float(len(detected))
+            # an int count (PerfDetails) or the distributed driver's cell list
+            metrics["detected_cells"] = float(
+                detected if isinstance(detected, int) else len(detected)
+            )
         if hasattr(details, "speedup") and hasattr(details, "sequential_runtime"):
             metrics["workers"] = getattr(details, "workers", 0)
             metrics["sim_runtime_s"] = round(details.runtime, 4)
             metrics["sequential_s"] = round(details.sequential_runtime, 4)
             metrics["speedup"] = round(details.speedup, 3)
+    return metrics
+
+
+def _detection_metrics(report: CleaningReport, instance) -> dict:
+    """Detector-quality metrics of a detection-enabled cell.
+
+    Pulls the detection drill-down out of the report details (a dict for the
+    baseline cleaners, a ``PerfDetails`` for the MLNClean backends) and
+    scores it against the instance's injected-error ledger: detected-cell
+    count, detection precision/recall/F1.  Cells whose cleaner carries no
+    detection drill-down contribute nothing.
+    """
+    details = report.details
+    if isinstance(details, dict):
+        detection = details.get("detection")
+    else:
+        detection = getattr(details, "detection", None)
+    if not isinstance(detection, dict):
+        return {}
+    detected = DirtyCells.from_json_dict(detection)
+    metrics = {"detected_cells": float(detected.count)}
+    if instance.ground_truth is not None:
+        accuracy = detected.accuracy(
+            instance.ground_truth.dirty_cells, instance.dirty
+        )
+        metrics["detect_precision"] = round(accuracy["precision"], 4)
+        metrics["detect_recall"] = round(accuracy["recall"], 4)
+        metrics["detect_f1"] = round(accuracy["f1"], 4)
     return metrics

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Optional
 
 
 class Stopwatch:
@@ -105,13 +105,26 @@ class PerfDetails:
     distance: dict[str, object] = field(default_factory=dict)
     #: Stage-I worker processes of the run (1 = serial)
     parallelism: int = 1
+    #: detection drill-down when a detector stack ran (a
+    #: ``DirtyCells.to_json_dict()`` plus scope info), ``None`` otherwise
+    detection: Optional[dict] = None
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "timings": dict(self.timings),
             "distance": dict(self.distance),
             "parallelism": self.parallelism,
         }
+        if self.detection is not None:
+            payload["detection"] = dict(self.detection)
+        return payload
+
+    @property
+    def detected_cells(self) -> Optional[int]:
+        """Detected-cell count (the experiments promote this to a metric)."""
+        if self.detection is None:
+            return None
+        return self.detection.get("count")
 
     def describe(self) -> str:
         """One line for logs: total time, distance calls, hit rate."""

@@ -96,6 +96,20 @@ RECOVERY_RUNS = REGISTRY.counter(
     ("source",),
 )
 
+#: cells flagged dirty by each detector of a detection stack
+DETECTOR_CELLS = REGISTRY.counter(
+    "repro_detector_cells_total",
+    "cells flagged dirty per error detector",
+    ("detector",),
+)
+
+#: wall-clock spent running detector stacks, per backend
+DETECT_SECONDS = REGISTRY.counter(
+    "repro_detect_seconds_total",
+    "wall-clock seconds spent in the error-detection phase",
+    ("backend",),
+)
+
 
 def get_registry() -> MetricsRegistry:
     """The process-default :class:`MetricsRegistry`."""

@@ -48,6 +48,7 @@ class ServiceCleaner:
             options=dict(self.options),
             config=request.config,
             stages=request.stages,
+            detectors=request.detectors,
         )
         return asyncio.run(self._run_spec(spec))
 

@@ -65,6 +65,8 @@ class CleanRequestSpec:
     config: Optional[MLNCleanConfig] = None
     config_overrides: dict = field(default_factory=dict)
     stages: Optional[list[str]] = None
+    #: error-detector stack (wire specs: names / {"name", "options"} objects)
+    detectors: Optional[list] = None
     #: include the full report JSON in the job result (signature always is)
     include_report: bool = True
 
@@ -105,6 +107,9 @@ class DeltaRequestSpec:
     config_overrides: dict = field(default_factory=dict)
     #: {"kind": "tumbling"|"sliding", "size": N} — part of the shard identity
     window: Optional[dict] = None
+    #: error-detector stack — part of the shard identity (a scoped and an
+    #: unscoped stream are different sessions)
+    detectors: Optional[list] = None
     #: include the post-tick cleaned table in the job result
     include_table: bool = True
     #: client-generated request id for exactly-once application: a key the
@@ -235,6 +240,26 @@ def _decode_stages(data: dict):
     return list(raw)
 
 
+def _decode_detectors(data: dict) -> Optional[list]:
+    raw = data.get("detectors")
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not all(
+        isinstance(spec, (str, dict)) for spec in raw
+    ):
+        raise BadRequestError(
+            "'detectors' must be a list of detector names or "
+            '{"name": ..., "options": {...}} objects'
+        )
+    from repro.detect.base import validate_detector_specs
+
+    try:
+        validate_detector_specs(raw)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(f"bad detector stack: {exc}") from exc
+    return list(raw)
+
+
 def decode_clean_request(payload: object) -> CleanRequestSpec:
     """``POST /clean`` body → validated :class:`CleanRequestSpec`."""
     data = _require_dict(payload, "the request body")
@@ -252,6 +277,7 @@ def decode_clean_request(payload: object) -> CleanRequestSpec:
         options=dict(_require_dict(data.get("options", {}), "'options'")),
         config_overrides=_decode_overrides(data),
         stages=_decode_stages(data),
+        detectors=_decode_detectors(data),
         include_report=bool(data.get("include_report", True)),
     )
     spec.validate()
@@ -287,6 +313,7 @@ def decode_delta_request(payload: object) -> DeltaRequestSpec:
         schema=schema,
         config_overrides=_decode_overrides(data),
         window=data.get("window"),
+        detectors=_decode_detectors(data),
         include_table=bool(data.get("include_table", True)),
         idempotency_key=idempotency_key,
     )
@@ -323,6 +350,15 @@ def delta_routing_payload(spec: DeltaRequestSpec) -> dict:
         payload["config"] = dict(spec.config_overrides)
     if spec.window is not None:
         payload["window"] = normalize_window_spec(spec.window)
+    if spec.detectors is not None:
+        if not all(isinstance(d, (str, dict)) for d in spec.detectors):
+            raise ValueError(
+                "delta specs with detector instances are not wire-expressible; "
+                "use detector names or {'name': ..., 'options': ...} specs"
+            )
+        payload["detectors"] = [
+            d if isinstance(d, str) else dict(d) for d in spec.detectors
+        ]
     return payload
 
 
@@ -346,6 +382,7 @@ def decode_delta_routing(payload: object) -> DeltaRequestSpec:
         schema=schema,
         config_overrides=_decode_overrides(data),
         window=data.get("window"),
+        detectors=_decode_detectors(data),
     )
 
 

@@ -31,6 +31,7 @@ from typing import Optional, Union
 from repro.constraints.parser import rules_to_strings
 from repro.core.config import OBSERVABILITY_FIELDS, MLNCleanConfig
 from repro.dataset.table import Table
+from repro.detect.base import detector_specs_identity
 from repro.errors.groundtruth import GroundTruth
 from repro.service.codec import (
     CleanRequestSpec,
@@ -118,6 +119,7 @@ class Shard:
                 schema=schema,
                 config=self.session.config,
                 window=build_window(self.window_spec),
+                detectors=self.session.detectors,
             )
         return self.stream
 
@@ -222,6 +224,7 @@ class SessionPool:
             config=config,
             cleaner=cleaner,
             stages=getattr(spec, "stages", None),
+            detectors=getattr(spec, "detectors", None),
         )
 
     def _rules_and_config(
@@ -344,6 +347,7 @@ def _route_memo_key(spec: Union[CleanRequestSpec, DeltaRequestSpec]) -> str:
         },
         "config": spec.config.identity_dict() if spec.config is not None else None,
         "stages": getattr(spec, "stages", None),
+        "detectors": detector_specs_identity(getattr(spec, "detectors", None)),
         "window": normalize_window_spec(getattr(spec, "window", None)),
         "rules": (
             rules_to_strings(spec.rules)

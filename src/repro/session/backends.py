@@ -48,6 +48,9 @@ class CleaningRequest:
     ground_truth: Optional[GroundTruth] = None
     #: explicit stage-name sequence (``None`` = the default Algorithm-1 order)
     stages: Optional[list[str]] = None
+    #: error-detector stack (specs, see :mod:`repro.detect`); ``None`` runs
+    #: without a detection phase
+    detectors: Optional[list] = None
 
 
 @runtime_checkable
@@ -79,8 +82,16 @@ class BatchBackend:
         self.parallelism = parallelism
 
     def run(self, request: CleaningRequest) -> CleaningReport:
+        if self.parallelism > 1 and request.detectors is not None:
+            raise ValueError(
+                "dirty-cell-scoped cleaning is serial-only: drop the "
+                "detectors or run the batch backend with parallelism=1"
+            )
         cleaner = MLNClean(
-            request.config, stages=request.stages, parallelism=self.parallelism
+            request.config,
+            stages=request.stages,
+            parallelism=self.parallelism,
+            detectors=request.detectors,
         )
         with span("backend:batch", parallelism=self.parallelism):
             report = cleaner.clean(
@@ -104,6 +115,26 @@ class DistributedBackend:
                 "the distributed backend runs the fixed partition/learn/fuse/"
                 "clean/gather sequence; custom stage orders are batch-only"
             )
+        if request.detectors is not None:
+            # The detection phase still runs (provenance + metrics), but the
+            # partitioned driver always cleans full-scope, so a detection
+            # that would prune anything is rejected rather than ignored.
+            from repro.detect.run import run_detection
+
+            detected = run_detection(
+                request.dirty,
+                request.rules,
+                request.detectors,
+                ground_truth=request.ground_truth,
+                backend=self.name,
+            )
+            if not detected.covers(request.dirty):
+                raise ValueError(
+                    "the distributed backend cleans full-scope; dirty-cell-"
+                    "scoped detectors are batch/streaming-only (use the "
+                    "'all-cells' detector to keep detection metrics without "
+                    "scoping)"
+                )
         driver = DistributedMLNClean(workers=self.workers, config=request.config)
         with span("backend:distributed", workers=self.workers):
             report = driver.clean(
@@ -145,6 +176,7 @@ class StreamingBackend:
             schema=request.dirty.attributes,
             config=request.config,
             window=self.window,
+            detectors=request.detectors,
         )
 
     def run(self, request: CleaningRequest) -> CleaningReport:

@@ -124,7 +124,7 @@ class HoloCleanCleaner:
             request.dirty,
             request.rules,
             request.ground_truth,
-            detector=self.detector,
+            detector=_request_detector(request, self.detector, self.name),
         )
         return report.as_cleaning_report()
 
@@ -139,6 +139,12 @@ class MinimalRepairCleaner:
 
     def run(self, request: CleaningRequest) -> CleaningReport:
         _reject_custom_stages(request, self.name)
+        if request.detectors is not None:
+            raise ValueError(
+                "the minimal-repair cleaner has no detection phase; "
+                "detector stacks apply to the mlnclean, holoclean and "
+                "factor-graph cleaners"
+            )
         report = self.repairer.clean(
             request.dirty, request.rules, request.ground_truth
         )
@@ -166,9 +172,32 @@ class FactorGraphCleaner:
             request.dirty,
             request.rules,
             request.ground_truth,
-            detector=self.detector,
+            detector=_request_detector(request, self.detector, self.name),
         )
         return report.as_cleaning_report()
+
+
+def _request_detector(request: CleaningRequest, own_detector, cleaner_name: str):
+    """Fold a request's detector stack into a baseline's single detector.
+
+    The HoloClean-style baselines take one detector object; a request stack
+    collapses into a :class:`~repro.detect.builtin.UnionDetector`.  Setting
+    both the cleaner's ``detector=`` option and the request's ``detectors``
+    would silently shadow one of them, so that conflict raises instead.
+    """
+    if request.detectors is None:
+        return own_detector
+    if own_detector is not None:
+        raise ValueError(
+            f"the {cleaner_name} cleaner already has a detector= option; "
+            f"drop it or drop the session's detector stack"
+        )
+    from repro.detect.builtin import UnionDetector
+    from repro.detect.run import inject_ground_truth
+
+    detector = UnionDetector(request.detectors)
+    inject_ground_truth(detector, request.ground_truth)
+    return detector
 
 
 #: cleaner name → factory; factory options are cleaner-specific

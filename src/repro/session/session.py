@@ -31,7 +31,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.constraints.parser import parse_rule, rules_to_strings
+from repro.constraints.parser import RuleParseError, parse_rule, rules_to_strings
 from repro.constraints.rules import Rule
 from repro.core.config import MLNCleanConfig
 from repro.core.report import CleaningReport
@@ -106,36 +106,50 @@ _NAMED_RULE_LINE = re.compile(r"^(?P<name>[A-Za-z_][\w.-]*)\s*:\s*(?P<body>.+)$"
 def _rules_from_file(path: Path) -> list[Rule]:
     """Parse a rule file, honouring optional ``name: rule`` prefixes.
 
-    Lines may carry an explicit name (``r1: CT -> ST``); unnamed lines get
-    positional names later.  Two lines claiming the same explicit name would
-    previously both be renumbered silently — since the MLN index keys its
-    blocks by rule name, that hid a dropped constraint, so a duplicate now
-    raises instead.
+    Blank lines and ``#`` comments are skipped; every parse error carries
+    the 1-based line number and the offending text.  Lines may carry an
+    explicit name (``r1: CT -> ST``); unnamed lines get positional names
+    later.  Two lines claiming the same explicit name would previously both
+    be renumbered silently — since the MLN index keys its blocks by rule
+    name, that hid a dropped constraint, so a duplicate now raises instead.
     """
     if not path.is_file():
         raise FileNotFoundError(f"rule file {path} does not exist")
-    lines = [
-        line.strip()
-        for line in path.read_text(encoding="utf-8").splitlines()
+    numbered = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        )
     ]
-    texts = [line for line in lines if line and not line.startswith("#")]
+    texts = [
+        (lineno, line)
+        for lineno, line in numbered
+        if line and not line.startswith("#")
+    ]
     rules: list[Rule] = []
     named: set[str] = set()
-    for index, text in enumerate(texts, start=1):
+    for lineno, text in texts:
         match = _NAMED_RULE_LINE.match(text)
-        if match is not None and match.group("name").lower() != "dc":
-            name = match.group("name")
-            if name in named:
-                raise ValueError(
-                    f"duplicate rule name {name!r} in rule file {path}: "
-                    f"every rule needs a distinct name (the MLN index keys "
-                    f"blocks by rule name, so a collision would silently "
-                    f"drop a constraint)"
-                )
-            named.add(name)
-            rules.append(parse_rule(match.group("body"), name=name))
-        else:
-            rules.append(parse_rule(text, name=f"{_AUTONAME}{index}"))
+        try:
+            if match is not None and match.group("name").lower() != "dc":
+                name = match.group("name")
+                if name in named:
+                    raise ValueError(
+                        f"duplicate rule name {name!r}: every rule needs a "
+                        f"distinct name (the MLN index keys blocks by rule "
+                        f"name, so a collision would silently drop a "
+                        f"constraint)"
+                    )
+                named.add(name)
+                rules.append(parse_rule(match.group("body"), name=name))
+            else:
+                rules.append(parse_rule(text, name=f"{_AUTONAME}{lineno}"))
+        except RuleParseError as exc:
+            raise RuleParseError(
+                f"{path}:{lineno}: {exc} [line: {text!r}]"
+            ) from exc
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc} [line: {text!r}]") from exc
     return rules
 
 
@@ -188,6 +202,7 @@ class SessionBuilder:
         self._cleaner_name: Optional[str] = None
         self._cleaner_options: dict[str, object] = {}
         self._stages: Optional[list[str]] = None
+        self._detectors: Optional[list] = None
         self._table: Optional[Table] = None
         self._ground_truth: Optional[GroundTruth] = None
 
@@ -248,6 +263,20 @@ class SessionBuilder:
         self._stages = flat
         return self
 
+    def with_detectors(self, *specs) -> "SessionBuilder":
+        """Select the error-detection stack (detector specs, in order).
+
+        Specs are registered names (``"violation"``), mappings
+        (``{"name": "violation", "options": {"dc_file": ...}}``), or
+        :class:`~repro.detect.Detector` instances — see :mod:`repro.detect`.
+        Runs then detect first and clean dirty-scoped (exact-or-prune).
+        """
+        from repro.detect.base import resolve_detectors
+
+        resolve_detectors(specs)  # validate eagerly: fail at build time
+        self._detectors = list(specs)
+        return self
+
     def with_table(
         self,
         source: TableLike,
@@ -275,6 +304,7 @@ class SessionBuilder:
             config=config,
             cleaner=self._build_cleaner(),
             stages=self._stages,
+            detectors=self._detectors,
             table=self._table,
             ground_truth=self._ground_truth,
         )
@@ -347,6 +377,7 @@ class CleaningSession:
         table: Optional[Table] = None,
         ground_truth: Optional[GroundTruth] = None,
         cleaner: Optional[Union[Cleaner, str]] = None,
+        detectors: Optional[Sequence] = None,
     ):
         self.rules: list[Rule] = list(rules) if rules is not None else []
         self.config = config or MLNCleanConfig()
@@ -364,6 +395,7 @@ class CleaningSession:
                 )
             self.cleaner = get_cleaner(cleaner) if isinstance(cleaner, str) else cleaner
         self.stages = list(stages) if stages is not None else None
+        self.detectors = list(detectors) if detectors is not None else None
         self.table = table
         self.ground_truth = ground_truth
         #: the report of the most recent run (None before the first run)
@@ -411,6 +443,12 @@ class CleaningSession:
             "config": self.config.identity_dict(),
             "window": _window_fingerprint(getattr(backend, "window", None)),
         }
+        if self.detectors:
+            # only when a stack is set, so detector-free sessions keep their
+            # historic fingerprints (and snapshots stay restorable)
+            from repro.detect.base import detector_specs_identity
+
+            payload["detectors"] = detector_specs_identity(self.detectors)
         blob = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -504,6 +542,7 @@ class CleaningSession:
             config=self.config,
             ground_truth=truth,
             stages=list(self.stages) if self.stages is not None else None,
+            detectors=list(self.detectors) if self.detectors is not None else None,
         )
         backend = self.backend
         with ensure_tracer(self.config.trace) as tracer:

@@ -52,6 +52,8 @@ from repro.metrics.accuracy import RepairAccuracy, evaluate_repair
 from repro.metrics.timing import TimingBreakdown
 from repro.obs import ensure_tracer, span, stage_scope
 from repro.streaming.delta import Delete, Delta, DeltaBatch, Insert, Update
+from repro.detect.run import CleaningScope
+from repro.detect.streaming import StreamDetection
 from repro.streaming.incremental_index import (
     DirtiedGroups,
     IncrementalMLNIndex,
@@ -133,6 +135,7 @@ class StreamingMLNClean:
         schema: Union[Schema, Sequence[str]],
         config: Optional[MLNCleanConfig] = None,
         window: Optional[WindowPolicy] = None,
+        detectors: Optional[Sequence] = None,
     ):
         if not rules:
             raise ValueError("StreamingMLNClean needs at least one integrity constraint")
@@ -140,6 +143,14 @@ class StreamingMLNClean:
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self.config = config or MLNCleanConfig()
         self.window = window
+        # Incremental re-detection: per tick, only the dirtied rules /
+        # touched tuples are re-checked (table-granularity detectors fall
+        # back to a full pass).  Exact-or-prune per tick: a detection that
+        # covers the retained table disables scoping for that tick.
+        self._detect = (
+            StreamDetection(detectors, self.rules) if detectors is not None else None
+        )
+        self._detected = None
 
         self._dirty = Table(self.schema, name="stream")
         self._repaired = Table(self.schema, name="stream-repaired")
@@ -201,6 +212,20 @@ class StreamingMLNClean:
     def batches_applied(self) -> int:
         return self._batches
 
+    @property
+    def detection(self):
+        """The :class:`~repro.detect.DirtyCells` of the last tick.
+
+        ``None`` when the engine runs without detectors (or before the
+        first batch).
+        """
+        return self._detected
+
+    @property
+    def detected_cells(self) -> Optional[int]:
+        """Detected-cell count of the last tick (promoted to run metrics)."""
+        return None if self._detected is None else self._detected.count
+
     def __len__(self) -> int:
         return len(self._dirty)
 
@@ -222,6 +247,10 @@ class StreamingMLNClean:
         if not isinstance(batch, DeltaBatch):
             batch = DeltaBatch(list(batch))
         self._validate_batch(batch)
+        if ground_truth is not None:
+            # merged before the tick so ledger-driven detectors (perfect)
+            # see the batch's own injected errors
+            self._ground_truth = self._ground_truth.merge(ground_truth)
         report = StreamingBatchReport(sequence=self._batches)
         timings = report.timings
         dirtied: DirtiedGroups = {}
@@ -243,22 +272,54 @@ class StreamingMLNClean:
                 name: set(keys) for name, keys in dirtied.items()
             }
 
-            # Stage I on the affected blocks only.
+            # Incremental re-detection on the dirtied blocks / touched
+            # tuples only; exact-or-prune per tick (a covering detection
+            # leaves this tick's cleaning unscoped, i.e. today's exact path).
+            scope = None
+            if self._detect is not None:
+                with stage_scope(timings, "streaming", "detect") as detect_span:
+                    self._detected = self._detect.update(
+                        self._dirty,
+                        dirtied_rules=[
+                            name for name, keys in dirtied.items() if keys
+                        ],
+                        touched_tids=inserted + updated,
+                        removed_tids=deleted + report.evicted_tids,
+                        ground_truth=self._ground_truth
+                        if len(self._ground_truth)
+                        else None,
+                    )
+                    detect_span.set(cells=self._detected.count)
+                if not self._detected.covers(self._dirty):
+                    scope = CleaningScope(self._detected, self._dirty)
+
+            # Stage I on the affected blocks only (under a scope, only the
+            # affected blocks that contain detected cells are re-cleaned;
+            # the rest still get their canonical post-delta structure).
             affected = [name for name in self._stage1 if dirtied.get(name)]
             report.affected_blocks = affected
             for name in affected:
-                with stage_scope(timings, "streaming", "agp", block=name):
-                    block = self._index.canonical_block(name)
-                    report.agp.extend(self._agp.process_block(block))
-                with stage_scope(timings, "streaming", "rsc", block=name):
-                    report.rsc.extend(self._rsc.clean_block(block))
+                block = self._index.canonical_block(name)
+                if scope is None or scope.selects_block(block):
+                    group_filter = None if scope is None else scope.selects_group
+                    with stage_scope(timings, "streaming", "agp", block=name):
+                        report.agp.extend(
+                            self._agp.process_block(block, group_filter=group_filter)
+                        )
+                    with stage_scope(timings, "streaming", "rsc", block=name):
+                        report.rsc.extend(
+                            self._rsc.clean_block(block, group_filter=group_filter)
+                        )
                 self._stage1[name] = block
 
-            # Stage II for the tuples whose fusion inputs changed.
+            # Stage II for the tuples whose fusion inputs changed (under a
+            # scope, only the affected tuples that hold a detected cell).
             with stage_scope(timings, "streaming", "fscr"):
                 affected_tids = self._affected_tuples(
                     affected, inserted, updated
                 )
+                if scope is not None:
+                    affected_tids &= scope.tids
                 resolved, failed = self._refuse(affected_tids)
             report.resolved_tids = resolved
             report.failed_tids = failed
@@ -279,8 +340,6 @@ class StreamingMLNClean:
                 retained=report.tuples_total,
             )
 
-        if ground_truth is not None:
-            self._ground_truth = self._ground_truth.merge(ground_truth)
         if self.config.instrument and len(self._ground_truth):
             report.accuracy = self.accuracy()
 

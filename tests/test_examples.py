@@ -92,10 +92,20 @@ def test_tracing_tour_example(monkeypatch, capsys, tmp_path):
     assert trace_out.is_file()
 
 
+def test_detectors_tour_example(monkeypatch, capsys):
+    output = run_example(monkeypatch, capsys, "detectors_tour.py", ["120"])
+    assert "registered detectors" in output
+    assert "violation" in output and "perfect" in output
+    assert "hospital_sample.dc: 2 denial constraints" in output
+    assert "all-cells detection byte-identical to no detection: True" in output
+    assert "raw distance evaluations: full=" in output
+
+
 def test_examples_directory_contains_expected_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {
         "quickstart.py",
+        "detectors_tour.py",
         "hospital_cleaning.py",
         "car_error_types.py",
         "distributed_tpch.py",
