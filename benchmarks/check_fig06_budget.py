@@ -1,0 +1,132 @@
+"""Distance-budget gate for the batch API + q-gram filter + kernel (CI).
+
+Runs the fig06 error-percentage experiment (both datasets, all error rates,
+MLNClean and the HoloClean comparison) at a fixed 300 tuples and compares
+against ``benchmarks/baselines/fig06_distance_budget.json``, which holds the
+**scalar-era** budget measured before the batch candidate-set API landed.
+The gate asserts two things:
+
+* the pruned run performs at most ``1/MIN_DROP_FACTOR`` of the baseline's
+  raw (pure-python) edit-distance evaluations — the sub-quadratic distance
+  core must actually displace scalar DP work, whether onto the q-gram
+  filter or onto the vectorized kernel,
+* every F1 cell is *exactly* equal to the scalar-era value — the filter and
+  the kernel are exactness-preserving by construction, so any drift is a
+  correctness bug, not noise.
+
+The baseline file is the pre-batch-API measurement and should not be
+regenerated from a current (kernel-enabled) run — that would gate the drop
+against itself.  ``--write`` exists only to re-capture the F1 map and budget
+after an *intentional* workload or semantics change, with the scalar
+backend forced::
+
+    python benchmarks/check_fig06_budget.py           # gate
+    python benchmarks/check_fig06_budget.py --write   # recalibrate baseline
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import fig06_error_percentage
+from repro.perf import global_distance_stats
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "fig06_distance_budget.json"
+
+#: the gated improvement: measured raw evaluations must be at most
+#: ``baseline / MIN_DROP_FACTOR``
+MIN_DROP_FACTOR = 5
+
+#: fixed scale so the counts and F1 cells are reproducible run to run
+TUPLES = 300
+SEED = 7
+
+
+def measure() -> dict:
+    before = global_distance_stats()
+    result = fig06_error_percentage(tuples=TUPLES, seed=SEED)
+    delta = global_distance_stats().diff(before)
+    f1: dict = {}
+    for row in result.rows:
+        dataset = f1.setdefault(row["dataset"], {})
+        system = dataset.setdefault(row["system"], {})
+        system[str(row["error_rate"])] = row["f1"]
+    return {
+        "tuples": TUPLES,
+        "seed": SEED,
+        "distance_calls": delta.calls,
+        "raw_evaluations": delta.raw_evaluations,
+        "kernel_evaluations": delta.kernel_evaluations,
+        "qgram_filtered": delta.qgram_filtered,
+        "f1": f1,
+    }
+
+
+def main(argv: list) -> int:
+    measured = measure()
+    print(
+        "measured:",
+        json.dumps({k: v for k, v in measured.items() if k != "f1"}, sort_keys=True),
+    )
+    if "--write" in argv:
+        payload = dict(measured)
+        payload.pop("kernel_evaluations", None)
+        payload.pop("qgram_filtered", None)
+        payload["comment"] = (
+            "regenerated baseline; only meaningful when measured with "
+            "distance_kernel='python' and qgram filtering representative "
+            "of the era being gated against"
+        )
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+
+    budget = baseline["raw_evaluations"] / MIN_DROP_FACTOR
+    drop = (
+        baseline["raw_evaluations"] / measured["raw_evaluations"]
+        if measured["raw_evaluations"]
+        else float("inf")
+    )
+    print(
+        f"raw_evaluations: baseline {baseline['raw_evaluations']} -> "
+        f"measured {measured['raw_evaluations']} ({drop:.1f}x drop, "
+        f"gate requires >= {MIN_DROP_FACTOR}x)"
+    )
+    if measured["raw_evaluations"] > budget:
+        failures.append(
+            f"raw_evaluations {measured['raw_evaluations']} exceeds the "
+            f"budget {budget:.0f} (baseline {baseline['raw_evaluations']} / "
+            f"{MIN_DROP_FACTOR})"
+        )
+
+    for dataset, systems in baseline["f1"].items():
+        for system, cells in systems.items():
+            for rate, expected in cells.items():
+                got = measured["f1"].get(dataset, {}).get(system, {}).get(rate)
+                if got != expected:
+                    failures.append(
+                        f"F1 drifted: {dataset}/{system}@{rate}: "
+                        f"expected {expected}, measured {got}"
+                    )
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print(
+        f"ok: raw-evaluation budget met and all "
+        f"{sum(len(c) for s in baseline['f1'].values() for c in s.values())} "
+        f"F1 cells unchanged"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -70,6 +70,11 @@ def run_and_report(benchmark, harness, **kwargs):
         "length_prunes": delta.length_prunes,
         "band_prunes": delta.band_prunes,
         "value_short_circuits": delta.value_short_circuits,
+        "batch_queries": delta.batch_queries,
+        "qgram_candidates": delta.qgram_candidates,
+        "qgram_filtered": delta.qgram_filtered,
+        "kernel_batches": delta.kernel_batches,
+        "kernel_evaluations": delta.kernel_evaluations,
         # per-stage wall-clock attributed by the repro_stage_seconds_total
         # counter ("<backend>.<stage>" keys), diffed around the harness run
         "stage_seconds": {
@@ -97,7 +102,15 @@ def pytest_sessionfinish(session, exitstatus):
         return
     totals = {
         key: sum(record[key] for record in _PERF_RECORDS.values())
-        for key in ("wall_seconds", "distance_calls", "raw_evaluations", "cache_hits")
+        for key in (
+            "wall_seconds",
+            "distance_calls",
+            "raw_evaluations",
+            "cache_hits",
+            "qgram_candidates",
+            "qgram_filtered",
+            "kernel_evaluations",
+        )
     }
     totals["wall_seconds"] = round(totals["wall_seconds"], 4)
     totals["cache_hit_rate"] = round(

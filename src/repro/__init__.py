@@ -88,7 +88,7 @@ from repro.streaming import (
     WorkloadStreamSource,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CleaningSession",

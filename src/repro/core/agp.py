@@ -197,33 +197,33 @@ class AbnormalGroupProcessor:
     ) -> Optional[tuple[str, ...]]:
         """The normal group whose representative γ* is closest to ours.
 
-        Best-so-far search: the running best distance is passed to the engine
-        as a cutoff, so clearly-farther candidates are abandoned mid-matrix
-        (or pruned outright on the length bound) instead of being measured
-        exactly.  Candidates at or below the running best — including ties —
-        still come back exact, so the selected group is identical to the one
-        an exhaustive scan picks.
+        One batch :meth:`~repro.perf.DistanceEngine.nearest` query over the
+        live normal groups' representatives: the engine owns the visit order
+        (q-gram lower bounds ascending, fed by the block's inverted index),
+        the best-so-far cutoff and the prune decisions.  ``normal_keys`` is
+        sorted, so the engine's smallest-position tie-break is exactly the
+        smallest-key tie-break of the scalar loop it replaces — the selected
+        group is identical to the one an exhaustive scan picks.
         """
         if not normal_keys:
             return None
         abnormal_repr = block.groups[abnormal_key].representative()
-        engine = self.engine
-        best_key: Optional[tuple[str, ...]] = None
-        best_distance = float("inf")
+        live_keys: list[tuple[str, ...]] = []
+        candidates: list[tuple[str, ...]] = []
         for key in normal_keys:
-            if key not in block.groups:
+            group = block.groups.get(key)
+            if group is None:
                 continue
-            candidate_repr = block.groups[key].representative()
-            distance = engine.values_distance(
-                abnormal_repr.values, candidate_repr.values, cutoff=best_distance
-            )
-            if distance < best_distance or (
-                distance == best_distance
-                and (best_key is None or key < best_key)
-            ):
-                best_distance = distance
-                best_key = key
-        return best_key
+            live_keys.append(key)
+            candidates.append(group.representative().values)
+        if not candidates:
+            return None
+        best_position, _ = self.engine.nearest(
+            abnormal_repr.values, candidates, index=block.qgram_index
+        )
+        if best_position is None:
+            return None
+        return live_keys[best_position]
 
     def _merge(
         self, block: Block, abnormal_key: tuple[str, ...], target_key: tuple[str, ...]

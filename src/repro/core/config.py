@@ -58,6 +58,28 @@ class MLNCleanConfig:
     #: flush-on-full bound for the pair cache (``None`` = unbounded); a full
     #: cache is cleared wholesale rather than evicted entry-wise
     distance_cache_entries: Optional[int] = None
+    #: gram length of the q-gram candidate filter (HoloClean analog:
+    #: ``domain_prune_thresh``'s gram side); pruning stays exact at any q —
+    #: the filter only orders and lower-bounds candidates.  ``1`` (the
+    #: default) is the positional bag-distance bound, which measured
+    #: near-optimal on the paper's workloads: one edit destroys at most one
+    #: unigram, so the bound's divisor is 1 instead of q
+    qgram_size: int = 1
+    #: approximation knob (HoloClean analog: ``pruning_topk``): per batch
+    #: query keep only the k candidates with the smallest q-gram lower
+    #: bounds.  ``None`` (default) = exact semantics
+    pruning_topk: Optional[int] = None
+    #: approximation knob (HoloClean analog: ``max_domain``): hard cap on the
+    #: candidates a batch query may consider, applied in input order before
+    #: ordering.  ``None`` (default) = exact semantics
+    max_candidates: Optional[int] = None
+    #: batch evaluation backend: ``"auto"`` (default — the vectorized numpy
+    #: kernel when numpy is importable, the zero-dep scalar fast path
+    #: otherwise), ``"numpy"`` (kernel required: raises without the ``fast``
+    #: extra) or ``"python"`` (force the scalar path).  Results are
+    #: bit-identical across backends; only speed and the
+    #: ``raw_evaluations`` / ``kernel_evaluations`` counter split differ
+    distance_kernel: str = "auto"
     #: opt-in observability: run under a fresh :class:`repro.obs.Tracer`
     #: even when the caller activated none (an already-ambient tracer is
     #: reused).  Purely observational — listed in
@@ -74,6 +96,16 @@ class MLNCleanConfig:
             raise ValueError("fscr_minimality_bias must be >= 0")
         if self.distance_cache_entries is not None and self.distance_cache_entries < 1:
             raise ValueError("distance_cache_entries must be >= 1 (or None)")
+        if self.qgram_size < 1:
+            raise ValueError("qgram_size must be >= 1")
+        if self.pruning_topk is not None and self.pruning_topk < 1:
+            raise ValueError("pruning_topk must be >= 1 (or None for exact)")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1 (or None for exact)")
+        if self.distance_kernel not in ("python", "numpy", "auto"):
+            raise ValueError(
+                "distance_kernel must be one of 'python', 'numpy', 'auto'"
+            )
         # Fail fast on unknown metric names instead of deep inside Stage I.
         get_metric(self.distance_metric)
 

@@ -156,13 +156,17 @@ class FusionScoreResolver:
         current_values: dict[str, str],
     ) -> tuple:
         """A hashable identity of everything a fusion decision depends on."""
-        intern = self.engine.intern if self.engine is not None else (lambda v: v)
+        values = tuple(current_values.values())
+        if self.engine is not None:
+            # One memoized tuple-intern probe instead of re-interning every
+            # value on every signature (the tuples recur per micro-batch).
+            values = self.engine.intern_values(values)
         return (
             tuple(
                 (block.name, piece.values, piece.weight)
                 for block, piece in versions
             ),
-            tuple(intern(value) for value in current_values.values()),
+            values,
         )
 
     # ------------------------------------------------------------------

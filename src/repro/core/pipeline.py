@@ -157,6 +157,19 @@ class MLNClean:
                 context.blocks = index.block_list
                 index_span.set(blocks=len(context.blocks))
 
+            # Candidate-pruning support: per-block q-gram indexes for the
+            # engine's batch API (skipped for metrics without a valid gram
+            # bound, where batch queries scan plainly anyway).
+            if context.engine.supports_qgram:
+                with stage_scope(timings, "batch", "qgram-index") as qgram_span:
+                    index.enable_qgram(context.engine.qgram_size)
+                    qgram_span.set(
+                        values=sum(
+                            len(block.qgram_index or ())
+                            for block in context.blocks
+                        )
+                    )
+
             # The stage sequence (Stage I lines 14-17, Stage II line 18 +
             # dedup).
             for stage in self._build_stage_sequence():

@@ -204,31 +204,17 @@ class ReliabilityScoreCleaner:
         gammas = group.gammas
         if len(gammas) < 2:
             return {piece: 1.0 for piece in gammas}
-        # Per-group invariants are hoisted out of the γ loop: the value
-        # tuples are materialised once, and the min-distance of *every* γ is
-        # derived from a single pass over the unordered pairs (distance is
-        # symmetric, so each pair updates both sides — half the evaluations
-        # of the naive per-γ scan even before caching).  The running mins
-        # double as the engine cutoff: a pair provably farther than both
-        # current mins can be abandoned mid-matrix without affecting either.
-        engine = self.engine
-        count = len(gammas)
-        values = [piece.values for piece in gammas]
-        mins = [math.inf] * count
-        for i in range(count):
-            left = values[i]
-            min_i = mins[i]
-            for j in range(i + 1, count):
-                min_j = mins[j]
-                cutoff = min_i if min_i >= min_j else min_j
-                distance = engine.values_distance(left, values[j], cutoff=cutoff)
-                if distance < min_i:
-                    min_i = distance
-                if distance < min_j:
-                    mins[j] = distance
-            mins[i] = min_i
+        # One batch pairwise() query answers every γ's min-distance: the
+        # engine computes q-gram lower bounds once per unordered pair, visits
+        # each γ's candidates bounds-ascending with the running min as the
+        # cutoff, and serves the symmetric (i, j) / (j, i) revisit from the
+        # pair cache.  The minima are exact (prunes only discard pairs whose
+        # lower bound already exceeds the running min), so the scores are
+        # identical to the exhaustive scan's.
+        neighbors = self.engine.pairwise([piece.values for piece in gammas])
         raw: dict[DataPiece, float] = {
-            piece: piece.support * mins[index] for index, piece in enumerate(gammas)
+            piece: piece.support * neighbors[index][1]
+            for index, piece in enumerate(gammas)
         }
         # Z normalises n·d into [0, 1] within the group.
         normaliser = max(raw.values()) or 1.0

@@ -32,6 +32,13 @@ class DistanceMetric(ABC):
     #: :meth:`repro.perf.DistanceEngine.bounded_distance` computes this
     #: metric exactly (only plain Levenshtein)
     supports_banded: bool = False
+    #: how many bound-destroying edit operations one q-gram mismatch may
+    #: correspond to for this metric, or ``None`` when the q-gram count
+    #: filter of :mod:`repro.perf.qgram` is not a valid lower bound (which
+    #: disables candidate pruning — batch queries fall back to a plain
+    #: ordered scan).  ``1`` for Levenshtein; ``2`` for restricted Damerau,
+    #: whose distance is at least half the Levenshtein distance
+    qgram_edit_ops = None
 
     @abstractmethod
     def distance(self, left: str, right: str) -> float:

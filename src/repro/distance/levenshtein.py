@@ -26,6 +26,8 @@ class LevenshteinDistance(DistanceMetric):
     affix_safe = True
     #: the banded bounded search of repro.perf computes this metric exactly
     supports_banded = True
+    #: one edit operation destroys at most q positional q-grams
+    qgram_edit_ops = 1
 
     def distance(self, left: str, right: str) -> float:
         left, right = strip_common_affixes(left, right)
@@ -67,6 +69,10 @@ class DamerauLevenshteinDistance(DistanceMetric):
 
     name = "damerau"
     affix_safe = True
+    #: the Levenshtein gram bound applies through d_lev <= 2 * d_damerau
+    #: (a transposition is two substitutions to plain Levenshtein), so one
+    #: restricted-Damerau operation may destroy up to 2q grams
+    qgram_edit_ops = 2
 
     def distance(self, left: str, right: str) -> float:
         left, right = strip_common_affixes(left, right)

@@ -160,11 +160,23 @@ class DataPartitioner:
             # All parts are at capacity (can only happen through rounding on
             # the very last tuple); relax the bound for the closest part.
             open_parts = [p.index for p in partitions]
-        best = min(
-            open_parts,
-            key=lambda index: self.metric.values_distance(values[tid], centroids[index]),
-        )
-        distance = self.metric.values_distance(values[tid], centroids[best])
+        nearest = getattr(self.metric, "nearest", None)
+        if nearest is not None:
+            # A DistanceEngine: one batch query with best-so-far pruning
+            # (the smallest-position tie-break equals min()'s first-minimal
+            # pick because open_parts is ascending).
+            offset, distance = nearest(
+                values[tid], [centroids[index] for index in open_parts]
+            )
+            best = open_parts[offset]
+        else:
+            best = min(
+                open_parts,
+                key=lambda index: self.metric.values_distance(
+                    values[tid], centroids[index]
+                ),
+            )
+            distance = self.metric.values_distance(values[tid], centroids[best])
         self._insert(partitions[best], heaps[best], tid, distance)
 
 

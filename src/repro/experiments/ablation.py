@@ -129,14 +129,10 @@ def _variant_cleaner(config: MLNCleanConfig, variant: str) -> ReliabilityScoreCl
             gammas = group.gammas
             if len(gammas) < 2:
                 return {piece: 1.0 for piece in gammas}
+            neighbors = engine.pairwise([piece.values for piece in gammas])
             return {
-                piece: piece.support
-                * min(
-                    engine.values_distance(piece.values, other.values)
-                    for other in gammas
-                    if other is not piece
-                )
-                for piece in gammas
+                piece: piece.support * neighbors[index][1]
+                for index, piece in enumerate(gammas)
             }
 
         cleaner.reliability_scores = distance_only  # type: ignore[method-assign]
@@ -296,6 +292,49 @@ def ablation_partitioner(
         seed=seed,
     )
     return render_ablation_partition(ExperimentRunner(spec).run())
+
+
+def render_ablation_pruning(artifact: RunArtifact) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="pruning_ablation",
+        description="batch-API pruning knobs: accuracy vs distance budget",
+    )
+    for cell in artifact.cells:
+        result.add(
+            {
+                "dataset": cell.coords["workload"],
+                "variant": cell.coords["config"]["label"],
+                "f1": cell.metrics["f1"],
+                "distance_calls": cell.perf.get("distance_calls", 0),
+                "raw_evaluations": cell.perf.get("raw_evaluations", 0),
+                "kernel_evaluations": cell.perf.get("kernel_evaluations", 0),
+                "qgram_filtered": cell.perf.get("qgram_filtered", 0),
+            }
+        )
+    return result
+
+
+def ablation_pruning(
+    datasets: Sequence[str] = ("hospital-sample",),
+    error_rate: float = 0.1,
+    tuples: Optional[int] = 60,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Exact defaults vs the approximating pruning knobs, F1 + budget.
+
+    The exact variants (kernel and python backend) must produce identical
+    F1 — only their ``raw_evaluations`` / ``kernel_evaluations`` split
+    differs; the ``pruning_topk`` / ``max_candidates`` rows trade repair
+    quality for a smaller distance budget.
+    """
+    spec = replace(
+        load_spec("pruning_ablation"),
+        workloads=list(datasets),
+        error_rates=[error_rate],
+        tuples=tuples,
+        seed=seed,
+    )
+    return render_ablation_pruning(ExperimentRunner(spec).run())
 
 
 # referenced by the checked-in spec defaults (kept here so a bare

@@ -445,6 +445,9 @@ class ExperimentRunner:
             "wall_seconds": round(wall_seconds, 4),
             "distance_calls": delta.calls,
             "raw_evaluations": delta.raw_evaluations,
+            "kernel_evaluations": delta.kernel_evaluations,
+            "qgram_candidates": delta.qgram_candidates,
+            "qgram_filtered": delta.qgram_filtered,
             "cache_hit_rate": round(delta.hit_rate, 4),
             # per-stage wall-clock from the run's own TimingBreakdown, so
             # artifacts carry the stage split without re-deriving it

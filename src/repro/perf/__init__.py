@@ -16,12 +16,19 @@ from repro.perf.engine import (
     global_distance_stats,
     reset_global_distance_stats,
 )
+from repro.perf.kernel import HAVE_NUMPY, BatchLevenshteinKernel
+from repro.perf.qgram import QGramIndex, ValueProfile, build_profile
 from repro.perf.stats import LatencyWindow
 
 __all__ = [
+    "BatchLevenshteinKernel",
     "DistanceEngine",
     "DistanceStats",
+    "HAVE_NUMPY",
     "LatencyWindow",
+    "QGramIndex",
+    "ValueProfile",
+    "build_profile",
     "global_distance_stats",
     "reset_global_distance_stats",
 ]

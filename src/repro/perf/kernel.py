@@ -1,0 +1,146 @@
+"""Optional numpy batch kernel: banded Levenshtein over whole candidate sets.
+
+The scalar fast path computes one ``O(m·n)`` dynamic program per pair in
+Python.  This kernel stacks a query's surviving candidates into one int
+matrix and advances all their DP rows together, so the per-row Python
+overhead is paid once per query instead of once per pair:
+
+* candidate strings are encoded as int arrays once and cached,
+* the insertion dependency inside a row (``cur[j]`` needs ``cur[j-1]``) is
+  resolved without a Python loop via the prefix-min identity
+  ``cur[j] = j + min_{t<=j} (V[t] - t)`` (``numpy.minimum.accumulate``),
+* the Ukkonen early exit is applied per candidate: the minimum of a DP row
+  never decreases as rows advance, so a candidate whose row minimum exceeds
+  its cutoff is settled with that minimum as a **lower bound** — the same
+  exact-or-prune contract as :func:`repro.distance.fastpath.bounded_levenshtein`.
+
+The kernel computes the *plain Levenshtein* distance bit-identically to the
+registered metric (both count unit-cost insert/delete/substitute over the
+same integral values), which is what lets :class:`repro.perf.engine.DistanceEngine`
+route batch evaluations through it without changing any cleaning decision.
+
+numpy is an optional extra (``pip install repro[fast]``): this module always
+imports, :data:`HAVE_NUMPY` reports availability, and the engine falls back
+to the pure-python scalar path when the kernel cannot be built.
+"""
+
+from __future__ import annotations
+
+import math
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY on both kinds of hosts
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: whether the optional numpy dependency is importable
+HAVE_NUMPY = _np is not None
+
+#: sentinel cost for DP cells outside a candidate's valid column range;
+#: far above any real string distance, far below int32 overflow
+_BIG = 1 << 20
+
+#: flush bound of the per-kernel string-encoding cache
+_ENCODE_CACHE_LIMIT = 1 << 16
+
+
+class BatchLevenshteinKernel:
+    """Vectorized banded Levenshtein across one query's candidate set."""
+
+    def __init__(self):
+        if _np is None:
+            raise RuntimeError(
+                "the numpy batch kernel needs numpy; install the optional "
+                "extra: pip install repro[fast]"
+            )
+        self._encoded: dict = {}
+
+    def _encode(self, value: str):
+        cached = self._encoded.get(value)
+        if cached is None:
+            if len(self._encoded) >= _ENCODE_CACHE_LIMIT:
+                self._encoded.clear()
+            cached = _np.frombuffer(
+                value.encode("utf-32-le"), dtype=_np.uint32
+            ).astype(_np.int32)
+            self._encoded[value] = cached
+        return cached
+
+    def batch_bounded(
+        self,
+        query: str,
+        rights: "list[str]",
+        cutoffs: "list[float]",
+    ) -> "list[tuple[float, bool]]":
+        """``(value, exact)`` per candidate, under per-candidate cutoffs.
+
+        ``exact=True`` means ``value`` is the exact Levenshtein distance
+        (always the case when it is ``<= cutoff``); otherwise ``value`` is a
+        true lower bound that already exceeds the candidate's cutoff.
+        """
+        np = _np
+        count = len(rights)
+        query_codes = self._encode(query)
+        m = len(query_codes)
+        lens = np.fromiter((len(r) for r in rights), dtype=np.int64, count=count)
+        width = int(lens.max()) if count else 0
+        limits = np.fromiter(
+            (
+                _BIG if math.isinf(c) else int(math.floor(c)) if c >= 0 else -1
+                for c in cutoffs
+            ),
+            dtype=np.int64,
+            count=count,
+        )
+
+        if m == 0:
+            # distance is the candidate length; always exact
+            return [(float(n), True) for n in lens]
+
+        codes = np.full((count, width), -1, dtype=np.int32)
+        for row, value in enumerate(rights):
+            if value:
+                codes[row, : len(value)] = self._encode(value)
+
+        columns = np.arange(width + 1, dtype=np.int32)
+        valid = columns[None, :] <= lens[:, None]
+        prev = np.where(valid, columns[None, :], np.int32(_BIG)).astype(np.int32)
+
+        results = np.zeros(count, dtype=np.int64)
+        exact = np.ones(count, dtype=bool)
+        alive = np.ones(count, dtype=bool)
+
+        current = np.empty((count, width + 1), dtype=np.int32)
+        for i in range(1, m + 1):
+            substitution = (codes != query_codes[i - 1]).astype(np.int32)
+            current[:, 0] = i
+            if width:
+                current[:, 1:] = np.minimum(
+                    prev[:, 1:] + 1, prev[:, :-1] + substitution
+                )
+            # resolve the in-row insertion chain: cur[j] = j + min_{t<=j}(cur[t] - t)
+            np.subtract(current, columns[None, :], out=current)
+            np.minimum.accumulate(current, axis=1, out=current)
+            np.add(current, columns[None, :], out=current)
+            np.copyto(current, _BIG, where=~valid)
+
+            row_minimum = current.min(axis=1)
+            newly_dead = alive & (row_minimum > limits)
+            if newly_dead.any():
+                # the row minimum never decreases as rows advance, so it is a
+                # valid lower bound of the final distance — and it already
+                # exceeds the candidate's cutoff, which settles the candidate
+                results[newly_dead] = row_minimum[newly_dead]
+                exact[newly_dead] = False
+                alive &= ~newly_dead
+                if not alive.any():
+                    break
+            prev, current = current, prev
+
+        if alive.any():
+            finals = prev[np.arange(count), lens]
+            results[alive] = finals[alive]
+
+        return [
+            (float(results[index]), bool(exact[index])) for index in range(count)
+        ]
